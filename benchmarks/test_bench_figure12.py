@@ -1,0 +1,28 @@
+"""Benchmark: Figure 12 — end-to-end memory / TTFT / throughput timelines."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure12 import format_figure12, run_figure12, summary_rows
+
+
+def test_bench_figure12_14b_workloads(benchmark, bench_scale):
+    panels = run_once(
+        benchmark,
+        run_figure12,
+        bench_scale,
+        workload_keys=("burstgpt-14b", "longbench-14b"),
+    )
+    print("\n" + format_figure12(panels))
+    rows = summary_rows(panels)
+    systems = {r["system"] for r in rows}
+    assert {"vLLM (DP)", "vLLM (PP)", "InferCept", "Llumnix", "KunServe"} == systems
+    for row in rows:
+        assert row["throughput_tok_s"] > 0
+
+
+def test_bench_figure12_72b_longbench(benchmark, bench_scale):
+    panels = run_once(
+        benchmark, run_figure12, bench_scale, workload_keys=("longbench-72b",), include_pp=False
+    )
+    print("\n" + format_figure12(panels))
+    rows = summary_rows(panels)
+    assert all(row["workload"] == "LongBench x 72B" for row in rows)

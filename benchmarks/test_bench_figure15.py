@@ -1,0 +1,14 @@
+"""Benchmark: Figure 15 — cost-model accuracy."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure15 import format_figure15, max_errors, run_figure15
+
+
+def test_bench_figure15_cost_model_accuracy(benchmark):
+    results = run_once(benchmark, run_figure15)
+    print("\n" + format_figure15(results))
+    errors = max_errors(results)
+    # Our cost model tracks the ground truth much more closely than the
+    # no-attention baseline (paper: <5% vs up to 48-74% deviation).
+    assert errors["ours_max_error_pct"] < errors["no_attn_max_error_pct"]
+    assert errors["no_attn_max_error_pct"] > 15.0

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 17 — standing time under an extreme burst (72B)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure17 import format_figure17, run_figure17
+
+
+def test_bench_figure17_extreme_burst(benchmark, bench_scale):
+    rows = run_once(benchmark, run_figure17, bench_scale)
+    print("\n" + format_figure17(rows))
+    by_system = {r["system"]: r for r in rows}
+    assert set(by_system) == {"vLLM (DP)", "KunServe"}
+    kunserve = by_system["KunServe"]
+    vllm = by_system["vLLM (DP)"]
+    # Dropping parameters buys KunServe extra KV capacity under the burst.
+    assert kunserve["capacity_peak_gb"] >= vllm["capacity_peak_gb"]

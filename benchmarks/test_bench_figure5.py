@@ -1,0 +1,20 @@
+"""Benchmark: Figure 5 — latency vs. degree of parameter dropping."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.runner import ExperimentScale
+
+SCALE = ExperimentScale(
+    name="bench-fig5", num_instances=4, trace_duration_s=45.0, drain_timeout_s=60.0,
+    rate_fraction=0.7,
+)
+
+
+def test_bench_figure5(benchmark):
+    rows = run_once(benchmark, run_figure5, SCALE, max_degree=4)
+    print("\n" + format_figure5(rows))
+    assert [r["pipeline_stages"] for r in rows] == [1, 2, 4]
+    # Dropping parameters never improves per-token latency: the deepest
+    # pipeline's median TPOT is at least on par with data parallelism.
+    assert rows[2]["tpot_p50"] >= rows[0]["tpot_p50"] * 0.85
+    assert all(r["throughput_tokens_per_s"] > 0 for r in rows)

@@ -1,0 +1,14 @@
+"""Benchmark: Table 1 — parameter memory usage ratios."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import PAPER_RATIOS, format_table1, run_table1
+
+
+def test_bench_table1(benchmark):
+    rows = run_once(benchmark, run_table1)
+    print("\n" + format_table1(rows))
+    assert len(rows) == len(PAPER_RATIOS)
+    for row in rows:
+        assert row["param_ratio_pct"] == __import__("pytest").approx(
+            row["paper_ratio_pct"], abs=2.0
+        )

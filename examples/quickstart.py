@@ -1,0 +1,63 @@
+"""Quickstart: serve a small chatbot workload with KunServe.
+
+Builds a two-instance cluster serving Qwen-2.5-14B, replays a short bursty
+chatbot trace through the full KunServe stack (dispatcher, monitor,
+parameter-centric memory management) and prints the latency summary plus
+any drop / restore events that occurred.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster.specs import cluster_a_spec
+from repro.models import QWEN_2_5_14B
+from repro.policies import KunServePolicy
+from repro.serving import ClusterServingSystem, ServingConfig
+from repro.workloads import BURSTGPT_DATASET, burstgpt_arrival_trace
+from repro.workloads.datasets import build_workload
+
+
+def main() -> None:
+    # 1. Describe the workload: a bursty arrival trace + chatbot-style
+    #    request lengths (BurstGPT statistics).
+    trace = burstgpt_arrival_trace(duration_s=60.0, base_rate=12.0, burst_factor=2.4, seed=7)
+    workload = build_workload(trace, BURSTGPT_DATASET, seed=7)
+    print(f"workload: {len(workload)} requests, "
+          f"mean prompt {workload.mean_prompt_tokens:.0f} tokens, "
+          f"mean output {workload.mean_output_tokens:.0f} tokens")
+
+    # 2. Describe the serving system: 2 x A800-80GB instances, KunServe policy.
+    config = ServingConfig(
+        model=QWEN_2_5_14B,
+        cluster=cluster_a_spec(num_servers=2),
+        token_budget=2048,
+        drain_timeout_s=60.0,
+    )
+    policy = KunServePolicy()
+    system = ClusterServingSystem(config, policy)
+
+    # 3. Replay the workload and inspect the results.
+    result = system.run(workload)
+    summary = result.summary
+    print(f"\nfinished {result.finished_requests}/{result.submitted_requests} requests "
+          f"in {result.duration_s:.1f} simulated seconds")
+    print(f"TTFT  p50 = {summary['ttft_p50'] * 1000:.0f} ms   p99 = {summary['ttft_p99'] * 1000:.0f} ms")
+    print(f"TPOT  p50 = {summary['tpot_p50'] * 1000:.0f} ms   p99 = {summary['tpot_p99'] * 1000:.0f} ms")
+    print(f"throughput = {summary['throughput_tokens_per_s']:.0f} tokens/s")
+
+    drops = [e for e in result.metrics.events if e["kind"] == "drop"]
+    restores = [e for e in result.metrics.events if e["kind"] == "restore_end"]
+    if drops:
+        print(f"\nKunServe dropped parameters {len(drops)} time(s):")
+        for event in drops:
+            print(f"  t={event['time']:.1f}s freed {event['freed_bytes'] / 1e9:.1f} GB "
+                  f"by merging {event['merged_groups']} group pair(s)")
+    if restores:
+        print(f"KunServe restored parameters {len(restores)} time(s)")
+    if not drops:
+        print("\nno memory overload occurred — try a higher base_rate or burst_factor")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so editable installs work on environments
+with older setuptools/pip that lack PEP 660 support (e.g. offline boxes
+without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

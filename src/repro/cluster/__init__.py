@@ -1,0 +1,37 @@
+"""Cluster hardware substrate: GPUs, servers, network fabric.
+
+The paper evaluates on two clusters (Table 2): cluster A with 8 servers of
+one A800-80GB each connected by 200 Gbps RDMA, and cluster B with 2 servers
+of eight H800-80GB each with 300 GB/s NVLink inside a server and 400 Gbps
+RDMA across servers.  This package models exactly those resources: HBM
+capacity, roofline compute capability, and a bandwidth-shared network fabric
+with priority classes so activation traffic can preempt bulk KV transfers.
+"""
+
+from repro.cluster.gpu import GPUSpec, GPU
+from repro.cluster.server import Server
+from repro.cluster.network import NetworkFabric, Transfer, TransferPriority
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.specs import (
+    A800_80GB,
+    H800_80GB,
+    PCIE_GEN4_BW,
+    cluster_a_spec,
+    cluster_b_spec,
+)
+
+__all__ = [
+    "GPU",
+    "GPUSpec",
+    "Server",
+    "NetworkFabric",
+    "Transfer",
+    "TransferPriority",
+    "Cluster",
+    "ClusterSpec",
+    "A800_80GB",
+    "H800_80GB",
+    "PCIE_GEN4_BW",
+    "cluster_a_spec",
+    "cluster_b_spec",
+]

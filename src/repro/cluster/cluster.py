@@ -1,0 +1,146 @@
+"""Cluster topology: servers, GPUs, and the shared network fabric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.gpu import GPU, GPUSpec
+from repro.cluster.network import NetworkFabric
+from repro.cluster.server import Server
+from repro.simulation.event_loop import EventLoop
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a homogeneous cluster.
+
+    Attributes:
+        name: label for reports.
+        gpu_spec: the GPU model every server hosts.
+        num_servers: number of servers.
+        gpus_per_server: GPUs per server (they share an NVLink domain).
+        nic_bandwidth: per-server unidirectional RDMA bandwidth, bytes/s.
+        pcie_bandwidth: per-server GPU<->host bandwidth, bytes/s.
+        host_dram_bytes: per-server DRAM usable as KV swap space.
+    """
+
+    name: str
+    gpu_spec: GPUSpec
+    num_servers: int
+    gpus_per_server: int
+    nic_bandwidth: float
+    pcie_bandwidth: float
+    host_dram_bytes: int = 1024 * 1024 ** 3
+
+    def __post_init__(self) -> None:
+        if self.num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        if self.gpus_per_server <= 0:
+            raise ValueError("gpus_per_server must be positive")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_servers * self.gpus_per_server
+
+    @property
+    def total_hbm_bytes(self) -> int:
+        return self.total_gpus * self.gpu_spec.hbm_bytes
+
+
+class Cluster:
+    """A concrete cluster instance bound to an event loop.
+
+    The cluster owns the servers/GPUs and the :class:`NetworkFabric`.  Serving
+    instances (groups of GPUs holding one model copy) are carved out of the
+    cluster by :mod:`repro.serving.system` based on the model's parallelism
+    configuration.
+    """
+
+    def __init__(self, spec: ClusterSpec, loop: Optional[EventLoop] = None) -> None:
+        self.spec = spec
+        self.loop = loop if loop is not None else EventLoop()
+        self.servers: List[Server] = []
+        self.fabric = NetworkFabric(self.loop)
+        self._build()
+
+    def _build(self) -> None:
+        gpu_id = 0
+        for server_id in range(self.spec.num_servers):
+            server = Server(
+                server_id=server_id,
+                gpus=[],
+                nic_bandwidth=self.spec.nic_bandwidth,
+                pcie_bandwidth=self.spec.pcie_bandwidth,
+                host_dram_bytes=self.spec.host_dram_bytes,
+            )
+            for _ in range(self.spec.gpus_per_server):
+                server.add_gpu(self.spec.gpu_spec, gpu_id)
+                gpu_id += 1
+            self.servers.append(server)
+            # Each server contributes two fabric endpoints: its RDMA NIC and
+            # its PCIe root complex (used only by swap traffic).
+            self.fabric.add_node(self.nic_node(server_id), server.nic_bandwidth)
+            self.fabric.add_node(self.host_node(server_id), server.pcie_bandwidth)
+
+    # ------------------------------------------------------------------
+    # Naming helpers for fabric endpoints
+    # ------------------------------------------------------------------
+    @staticmethod
+    def nic_node(server_id: int) -> str:
+        """Fabric endpoint name for a server's RDMA NIC."""
+        return f"server{server_id}/nic"
+
+    @staticmethod
+    def host_node(server_id: int) -> str:
+        """Fabric endpoint name for a server's host DRAM (PCIe)."""
+        return f"server{server_id}/host"
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    @property
+    def gpus(self) -> List[GPU]:
+        return [gpu for server in self.servers for gpu in server.gpus]
+
+    @property
+    def num_gpus(self) -> int:
+        return self.spec.total_gpus
+
+    def server_of_gpu(self, gpu_id: int) -> Server:
+        for server in self.servers:
+            for gpu in server.gpus:
+                if gpu.gpu_id == gpu_id:
+                    return server
+        raise KeyError(f"no such GPU: {gpu_id}")
+
+    def gpu_groups(self, gpus_per_instance: int) -> List[List[GPU]]:
+        """Partition the cluster's GPUs into instance-sized groups.
+
+        Groups never straddle a server when a server has enough GPUs (this
+        mirrors the paper: an instance lives inside one server unless the
+        model does not fit, which never happens in the evaluated setups).
+        """
+        if gpus_per_instance <= 0:
+            raise ValueError("gpus_per_instance must be positive")
+        groups: List[List[GPU]] = []
+        if gpus_per_instance <= self.spec.gpus_per_server:
+            for server in self.servers:
+                for start in range(0, server.num_gpus, gpus_per_instance):
+                    chunk = server.gpus[start : start + gpus_per_instance]
+                    if len(chunk) == gpus_per_instance:
+                        groups.append(list(chunk))
+        else:
+            # Instance spans servers (e.g. Llama-3.1-405B on 16 GPUs).
+            flat = self.gpus
+            for start in range(0, len(flat), gpus_per_instance):
+                chunk = flat[start : start + gpus_per_instance]
+                if len(chunk) == gpus_per_instance:
+                    groups.append(list(chunk))
+        return groups
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(name={self.spec.name!r}, servers={self.spec.num_servers}, "
+            f"gpus={self.num_gpus})"
+        )

@@ -1,0 +1,66 @@
+"""GPU hardware model.
+
+A GPU is described by its HBM capacity, dense half-precision compute
+throughput and HBM bandwidth.  The roofline latency model in
+``repro.engine.latency_model`` uses these numbers to turn "execute this
+batch of tokens through these layers" into seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model.
+
+    Attributes:
+        name: human readable name, e.g. ``"A800-80GB"``.
+        hbm_bytes: usable HBM capacity in bytes.
+        fp16_tflops: dense half-precision tensor throughput in TFLOP/s.
+        hbm_bandwidth: HBM bandwidth in bytes/s.
+        nvlink_bandwidth: unidirectional scale-up bandwidth to peer GPUs in
+            the same server, bytes/s (0 when the GPU has no NVLink peers).
+    """
+
+    name: str
+    hbm_bytes: int
+    fp16_tflops: float
+    hbm_bandwidth: float
+    nvlink_bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.hbm_bytes <= 0:
+            raise ValueError(f"hbm_bytes must be positive, got {self.hbm_bytes}")
+        if self.fp16_tflops <= 0:
+            raise ValueError(f"fp16_tflops must be positive, got {self.fp16_tflops}")
+        if self.hbm_bandwidth <= 0:
+            raise ValueError(f"hbm_bandwidth must be positive, got {self.hbm_bandwidth}")
+
+    @property
+    def flops(self) -> float:
+        """Dense FP16 throughput in FLOP/s."""
+        return self.fp16_tflops * 1e12
+
+
+@dataclass
+class GPU:
+    """One physical GPU in the cluster.
+
+    The GPU itself does not track allocations; memory book-keeping happens
+    in :mod:`repro.memory` at instance granularity (an instance owns all the
+    HBM of its GPUs).  The object exists so topology (which server a GPU
+    sits in, NVLink domains) can be reasoned about explicitly.
+    """
+
+    gpu_id: int
+    spec: GPUSpec
+    server_id: int = field(default=-1)
+
+    @property
+    def hbm_bytes(self) -> int:
+        return self.spec.hbm_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GPU(id={self.gpu_id}, spec={self.spec.name}, server={self.server_id})"

@@ -1,0 +1,249 @@
+"""Bandwidth-shared network fabric with priority classes.
+
+The fabric models each endpoint (a serving instance's NIC, or a server's
+PCIe root for swap traffic) as a node with a fixed unidirectional bandwidth.
+Transfers between two nodes progress at the minimum of their fair share at
+the source and at the destination.  Two priority classes exist:
+
+* ``ACTIVATION`` -- tiny, latency-critical pipeline activation transfers.
+* ``BULK`` -- KV-cache exchange, migration, swap, and parameter restore
+  traffic.
+
+High-priority transfers take the whole link; bulk transfers share whatever
+bandwidth is left.  This is the mechanism KunServe's coordinated exchange
+(§4.2) relies on: KV chunks are submitted at BULK priority so activations
+are never stalled behind them.
+
+Rates are recomputed whenever the set of active transfers at any endpoint
+changes (a fluid-flow approximation), and completion events are rescheduled
+accordingly — standard progress-based network simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.simulation.event_loop import Event, EventLoop
+
+
+class TransferPriority(enum.IntEnum):
+    """Priority classes for fabric transfers (lower value = higher priority)."""
+
+    ACTIVATION = 0
+    BULK = 1
+
+
+@dataclass
+class Transfer:
+    """An in-flight data transfer between two fabric nodes."""
+
+    transfer_id: int
+    src: str
+    dst: str
+    size_bytes: float
+    priority: TransferPriority
+    on_complete: Optional[Callable[["Transfer"], None]] = None
+    tag: str = ""
+
+    remaining_bytes: float = field(init=False)
+    submitted_at: float = field(default=0.0)
+    completed_at: Optional[float] = field(default=None)
+    current_rate: float = field(default=0.0)
+    _last_update: float = field(default=0.0)
+    _completion_event: Optional[Event] = field(default=None, repr=False)
+    cancelled: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"transfer size must be >= 0, got {self.size_bytes}")
+        self.remaining_bytes = float(self.size_bytes)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+class NetworkFabric:
+    """Fluid-flow network model shared by all instances of a cluster."""
+
+    def __init__(self, loop: EventLoop) -> None:
+        self._loop = loop
+        self._node_bandwidth: Dict[str, float] = {}
+        self._active: Dict[int, Transfer] = {}
+        self._counter = itertools.count()
+        self.completed_transfers: List[Transfer] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, bandwidth: float) -> None:
+        """Register an endpoint with unidirectional ``bandwidth`` bytes/s."""
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self._node_bandwidth[name] = float(bandwidth)
+
+    def has_node(self, name: str) -> bool:
+        return name in self._node_bandwidth
+
+    def node_bandwidth(self, name: str) -> float:
+        return self._node_bandwidth[name]
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: float,
+        *,
+        priority: TransferPriority = TransferPriority.BULK,
+        on_complete: Optional[Callable[[Transfer], None]] = None,
+        tag: str = "",
+    ) -> Transfer:
+        """Start a transfer of ``size_bytes`` from ``src`` to ``dst``."""
+        for node in (src, dst):
+            if node not in self._node_bandwidth:
+                raise KeyError(f"unknown fabric node: {node!r}")
+        transfer = Transfer(
+            transfer_id=next(self._counter),
+            src=src,
+            dst=dst,
+            size_bytes=size_bytes,
+            priority=priority,
+            on_complete=on_complete,
+            tag=tag,
+            submitted_at=self._loop.now,
+        )
+        transfer._last_update = self._loop.now
+        if size_bytes <= 0:
+            # Zero-byte transfers complete immediately (still asynchronously,
+            # so callers see a uniform callback discipline).
+            self._loop.schedule(0.0, lambda t=transfer: self._finish(t))
+            return transfer
+        self._active[transfer.transfer_id] = transfer
+        self._recompute_rates()
+        return transfer
+
+    def cancel(self, transfer: Transfer) -> None:
+        """Abort an in-flight transfer; its callback will not run."""
+        if transfer.transfer_id not in self._active:
+            return
+        transfer.cancelled = True
+        self._advance_progress()
+        del self._active[transfer.transfer_id]
+        if transfer._completion_event is not None:
+            transfer._completion_event.cancel()
+        self._recompute_rates()
+
+    def active_transfers(self, node: Optional[str] = None) -> List[Transfer]:
+        """Transfers currently in flight, optionally filtered to one node."""
+        transfers = list(self._active.values())
+        if node is None:
+            return transfers
+        return [t for t in transfers if t.src == node or t.dst == node]
+
+    def estimate_transfer_time(
+        self, src: str, dst: str, size_bytes: float, *, exclusive: bool = True
+    ) -> float:
+        """Lower-bound time to move ``size_bytes`` between two nodes.
+
+        With ``exclusive=True`` the estimate assumes the transfer gets the
+        whole link; otherwise it accounts for the currently active
+        transfers' shares.
+        """
+        bandwidth = min(self._node_bandwidth[src], self._node_bandwidth[dst])
+        if exclusive:
+            return size_bytes / bandwidth
+        contenders = 1 + len(
+            {t.transfer_id for t in self.active_transfers(src)}
+            | {t.transfer_id for t in self.active_transfers(dst)}
+        )
+        return size_bytes * contenders / bandwidth
+
+    # ------------------------------------------------------------------
+    # Internal fluid-flow machinery
+    # ------------------------------------------------------------------
+    def _advance_progress(self) -> None:
+        """Apply the current rates to all active transfers up to `now`."""
+        now = self._loop.now
+        for transfer in self._active.values():
+            elapsed = now - transfer._last_update
+            if elapsed > 0:
+                transfer.remaining_bytes = max(
+                    0.0, transfer.remaining_bytes - transfer.current_rate * elapsed
+                )
+            transfer._last_update = now
+
+    def _recompute_rates(self) -> None:
+        """Recompute every active transfer's rate and completion event."""
+        self._advance_progress()
+        # Count per-node demand at each priority level.
+        per_node_high: Dict[str, int] = {}
+        per_node_total: Dict[str, int] = {}
+        for transfer in self._active.values():
+            for node in (transfer.src, transfer.dst):
+                per_node_total[node] = per_node_total.get(node, 0) + 1
+                if transfer.priority == TransferPriority.ACTIVATION:
+                    per_node_high[node] = per_node_high.get(node, 0) + 1
+
+        for transfer in self._active.values():
+            rate = float("inf")
+            for node in (transfer.src, transfer.dst):
+                bandwidth = self._node_bandwidth[node]
+                high = per_node_high.get(node, 0)
+                total = per_node_total.get(node, 0)
+                if transfer.priority == TransferPriority.ACTIVATION:
+                    share = bandwidth / max(1, high)
+                else:
+                    # Bulk transfers share the bandwidth left over after the
+                    # high-priority class; we conservatively give the high
+                    # class 90% of the node while it is active.
+                    leftover = bandwidth * (0.1 if high > 0 else 1.0)
+                    bulk = total - high
+                    share = leftover / max(1, bulk)
+                rate = min(rate, share)
+            transfer.current_rate = rate
+
+        # Reschedule completion events.
+        now = self._loop.now
+        for transfer in self._active.values():
+            if transfer._completion_event is not None:
+                transfer._completion_event.cancel()
+                transfer._completion_event = None
+            if transfer.current_rate <= 0:
+                continue
+            eta = transfer.remaining_bytes / transfer.current_rate
+            transfer._completion_event = self._loop.schedule(
+                eta,
+                lambda t=transfer: self._maybe_complete(t),
+                name=f"xfer-{transfer.transfer_id}",
+            )
+
+    def _maybe_complete(self, transfer: Transfer) -> None:
+        if transfer.transfer_id not in self._active:
+            return
+        self._advance_progress()
+        if transfer.remaining_bytes > 1e-6:
+            # Rates changed since this event was scheduled; recompute will
+            # have scheduled a fresh completion event already.
+            return
+        del self._active[transfer.transfer_id]
+        self._finish(transfer)
+        self._recompute_rates()
+
+    def _finish(self, transfer: Transfer) -> None:
+        transfer.remaining_bytes = 0.0
+        transfer.completed_at = self._loop.now
+        self.completed_transfers.append(transfer)
+        if transfer.on_complete is not None:
+            transfer.on_complete(transfer)

@@ -1,0 +1,57 @@
+"""Server (host) model.
+
+A server groups GPUs that share an NVLink domain and a host NIC.  The host
+also exposes DRAM that KV-cache swapping (the InferCept baseline) uses as
+swap space, reachable over PCIe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cluster.gpu import GPU, GPUSpec
+
+
+@dataclass
+class Server:
+    """One physical server with ``len(gpus)`` GPUs.
+
+    Attributes:
+        server_id: index of the server in the cluster.
+        gpus: GPUs hosted by this server.
+        nic_bandwidth: unidirectional scale-out (RDMA) bandwidth in bytes/s.
+        pcie_bandwidth: GPU<->host DRAM bandwidth in bytes/s, used by swap.
+        host_dram_bytes: DRAM available for swapped-out KV cache.
+    """
+
+    server_id: int
+    gpus: List[GPU] = field(default_factory=list)
+    nic_bandwidth: float = 25e9
+    pcie_bandwidth: float = 32e9
+    host_dram_bytes: int = 1024 * 1024 ** 3
+
+    def __post_init__(self) -> None:
+        if self.nic_bandwidth <= 0:
+            raise ValueError("nic_bandwidth must be positive")
+        if self.pcie_bandwidth <= 0:
+            raise ValueError("pcie_bandwidth must be positive")
+        for gpu in self.gpus:
+            gpu.server_id = self.server_id
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def total_hbm_bytes(self) -> int:
+        return sum(gpu.hbm_bytes for gpu in self.gpus)
+
+    def add_gpu(self, spec: GPUSpec, gpu_id: int) -> GPU:
+        """Attach a new GPU of ``spec`` to this server."""
+        gpu = GPU(gpu_id=gpu_id, spec=spec, server_id=self.server_id)
+        self.gpus.append(gpu)
+        return gpu
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Server(id={self.server_id}, gpus={self.num_gpus})"

@@ -1,0 +1,55 @@
+"""Hardware presets matching the paper's testbed (Table 2).
+
+Cluster A: 8 servers x 1 A800-80GB, 200 Gbps RDMA scale-out, no NVLink.
+Cluster B: 2 servers x 8 H800-80GB, 300 GB/s NVLink scale-up, 400 Gbps RDMA.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.gpu import GPUSpec
+
+GB = 1024 ** 3
+
+#: PCIe Gen4 x16 effective bandwidth used for KV swap to host DRAM.
+PCIE_GEN4_BW = 25e9
+
+A800_80GB = GPUSpec(
+    name="A800-80GB",
+    hbm_bytes=80 * GB,
+    fp16_tflops=312.0,
+    hbm_bandwidth=2.0e12,
+    nvlink_bandwidth=0.0,
+)
+
+H800_80GB = GPUSpec(
+    name="H800-80GB",
+    hbm_bytes=80 * GB,
+    fp16_tflops=989.0,
+    hbm_bandwidth=3.35e12,
+    nvlink_bandwidth=300e9,
+)
+
+
+def cluster_a_spec(num_servers: int = 8) -> ClusterSpec:
+    """Paper cluster A: ``num_servers`` x 1 A800, 200 Gbps RDMA."""
+    return ClusterSpec(
+        name="cluster-A",
+        gpu_spec=A800_80GB,
+        num_servers=num_servers,
+        gpus_per_server=1,
+        nic_bandwidth=200e9 / 8,
+        pcie_bandwidth=PCIE_GEN4_BW,
+    )
+
+
+def cluster_b_spec(num_servers: int = 2) -> ClusterSpec:
+    """Paper cluster B: ``num_servers`` x 8 H800, NVLink + 400 Gbps RDMA."""
+    return ClusterSpec(
+        name="cluster-B",
+        gpu_spec=H800_80GB,
+        num_servers=num_servers,
+        gpus_per_server=8,
+        nic_bandwidth=400e9 / 8,
+        pcie_bandwidth=PCIE_GEN4_BW,
+    )

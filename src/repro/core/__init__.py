@@ -1,0 +1,57 @@
+"""KunServe core: parameter-centric memory management.
+
+The modules here implement the paper's contribution proper:
+
+* :mod:`repro.core.drop_plan` — greedy drop-plan generation (Figure 6);
+* :mod:`repro.core.cost_model` — the microbatch execution cost model of
+  Eq. 1–3 with offline least-squares fitting;
+* :mod:`repro.core.lookahead` — the divide-and-conquer lookahead batch
+  formulation (Figure 10/11);
+* :mod:`repro.core.kv_exchange` — coordinated KV-cache exchange that keeps
+  pipeline activations ahead of bulk traffic (§4.2);
+* :mod:`repro.core.local_manager` / :mod:`repro.core.global_manager` —
+  executing drop plans across instances (§4.1);
+* :mod:`repro.core.restore` — dynamic parameter restoration (§4.4);
+* :mod:`repro.core.fault_tolerance` — recovering pipeline groups from
+  instance failures (§4.4);
+* :mod:`repro.core.kunserve` — the controller gluing everything together.
+"""
+
+from repro.core.drop_plan import DropPlan, PlanGroup, generate_drop_plan
+from repro.core.cost_model import (
+    BatchCostModel,
+    CostModelParams,
+    NoAttentionCostModel,
+    ProfilingSample,
+    fit_cost_model,
+    generate_profiling_samples,
+)
+from repro.core.lookahead import lookahead_microbatches, make_lookahead_former
+from repro.core.kv_exchange import ExchangePlan, KVExchangeCoordinator
+from repro.core.local_manager import LocalMemoryManager
+from repro.core.global_manager import GlobalMemoryManager
+from repro.core.restore import RestoreManager
+from repro.core.fault_tolerance import FaultToleranceManager
+from repro.core.kunserve import KunServeConfig, KunServeController
+
+__all__ = [
+    "DropPlan",
+    "PlanGroup",
+    "generate_drop_plan",
+    "BatchCostModel",
+    "CostModelParams",
+    "NoAttentionCostModel",
+    "ProfilingSample",
+    "fit_cost_model",
+    "generate_profiling_samples",
+    "lookahead_microbatches",
+    "make_lookahead_former",
+    "ExchangePlan",
+    "KVExchangeCoordinator",
+    "LocalMemoryManager",
+    "GlobalMemoryManager",
+    "RestoreManager",
+    "FaultToleranceManager",
+    "KunServeConfig",
+    "KunServeController",
+]

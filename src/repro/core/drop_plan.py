@@ -1,0 +1,172 @@
+"""Drop-plan generation (Figure 6).
+
+Upon overloading, KunServe must decide which parameter replicas to drop.
+Correctness only requires that the instances of every (merged) group still
+hold one complete copy of the model between them; performance requires
+keeping groups as small as possible, because more pipeline stages mean more
+bubbles and smaller microbatches (Figure 5).
+
+The paper's algorithm is a greedy merge: keep all groups in a min-heap keyed
+by group size; repeatedly pop the two smallest groups and merge them — the
+merge drops one full copy of the duplicated parameters — until enough bytes
+have been freed or only one group remains (infeasible, fall back to the
+KV-centric policy).  Complexity ``O(N log N)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class PlanGroup:
+    """A (possibly already merged) group in the planner's view.
+
+    Attributes:
+        group_ids: ids of the original serving groups folded into this one.
+        num_instances: total instances across those groups.
+        layer_copies: how many copies of each layer the group holds; a group
+            that has not been merged holds ``len(group_ids)`` copies of every
+            layer (each original group has a full replica).
+    """
+
+    group_ids: Tuple[int, ...]
+    num_instances: int
+
+    def __post_init__(self) -> None:
+        if self.num_instances <= 0:
+            raise ValueError("num_instances must be positive")
+        if not self.group_ids:
+            raise ValueError("group_ids must not be empty")
+
+
+@dataclass
+class MergeStep:
+    """One merge performed by the planner (for logging / the executor)."""
+
+    left: PlanGroup
+    right: PlanGroup
+    merged: PlanGroup
+    freed_bytes: int
+
+
+@dataclass
+class DropPlan:
+    """The planner's output: the new group assignment.
+
+    Attributes:
+        feasible: False when the requirement could not be met even after
+            merging everything into a single group.
+        required_bytes: the memory requirement ``R`` that was requested.
+        freed_bytes: parameter bytes the plan frees cluster-wide.
+        final_groups: the new partition of original group ids.
+        steps: the merge steps in order (each frees one model copy).
+    """
+
+    feasible: bool
+    required_bytes: int
+    freed_bytes: int
+    final_groups: List[Tuple[int, ...]] = field(default_factory=list)
+    steps: List[MergeStep] = field(default_factory=list)
+
+    @property
+    def merged_groups(self) -> List[Tuple[int, ...]]:
+        """Final groups that actually contain more than one original group."""
+        return [group for group in self.final_groups if len(group) > 1]
+
+    @property
+    def num_merges(self) -> int:
+        return len(self.steps)
+
+
+def generate_drop_plan(
+    groups: Sequence[PlanGroup],
+    required_bytes: int,
+    model_param_bytes: int,
+) -> DropPlan:
+    """Generate a drop plan following the greedy algorithm of Figure 6.
+
+    Args:
+        groups: the current serving groups (each holding one full replica
+            per original group it contains).
+        required_bytes: the memory requirement ``R`` to free.
+        model_param_bytes: bytes of one complete model replica — what one
+            merge frees.
+
+    Returns:
+        A :class:`DropPlan`.  When no plan can satisfy the requirement the
+        plan is marked infeasible but still contains the merges performed
+        (the caller falls back to KV-centric handling / autoscaling).
+    """
+    if required_bytes < 0:
+        raise ValueError("required_bytes must be >= 0")
+    if model_param_bytes <= 0:
+        raise ValueError("model_param_bytes must be positive")
+
+    if required_bytes == 0 or not groups:
+        return DropPlan(
+            feasible=True,
+            required_bytes=required_bytes,
+            freed_bytes=0,
+            final_groups=[g.group_ids for g in groups],
+        )
+
+    # Min-heap keyed by (#instances, insertion order) — smallest groups are
+    # merged first to keep pipeline depth (and thus bubbles) minimal.
+    counter = itertools.count()
+    heap: List[Tuple[int, int, PlanGroup]] = []
+    for group in groups:
+        heapq.heappush(heap, (group.num_instances, next(counter), group))
+
+    freed = 0
+    steps: List[MergeStep] = []
+    while len(heap) >= 2 and freed < required_bytes:
+        _, _, left = heapq.heappop(heap)
+        _, _, right = heapq.heappop(heap)
+        merged = PlanGroup(
+            group_ids=tuple(left.group_ids) + tuple(right.group_ids),
+            num_instances=left.num_instances + right.num_instances,
+        )
+        # Merging two groups that each hold a complete replica lets us drop
+        # exactly one replica's worth of duplicated layers.
+        freed_by_merge = model_param_bytes
+        freed += freed_by_merge
+        steps.append(MergeStep(left=left, right=right, merged=merged, freed_bytes=freed_by_merge))
+        heapq.heappush(heap, (merged.num_instances, next(counter), merged))
+
+    final_groups = [entry[2].group_ids for entry in sorted(heap)]
+    return DropPlan(
+        feasible=freed >= required_bytes,
+        required_bytes=required_bytes,
+        freed_bytes=freed,
+        final_groups=final_groups,
+        steps=steps,
+    )
+
+
+def balanced_layer_assignment(num_layers: int, instance_count: int) -> List[List[int]]:
+    """Contiguous, balanced layer assignment for a merged group's stages."""
+    if instance_count <= 0:
+        raise ValueError("instance_count must be positive")
+    if num_layers < instance_count:
+        raise ValueError("cannot assign fewer layers than instances")
+    base = num_layers // instance_count
+    remainder = num_layers % instance_count
+    assignment: List[List[int]] = []
+    start = 0
+    for index in range(instance_count):
+        count = base + (1 if index < remainder else 0)
+        assignment.append(list(range(start, start + count)))
+        start += count
+    return assignment
+
+
+def plan_freed_bytes_by_group(plan: DropPlan, model_param_bytes: int) -> Dict[Tuple[int, ...], int]:
+    """Bytes freed by each final merged group (one replica per extra member)."""
+    freed: Dict[Tuple[int, ...], int] = {}
+    for group in plan.final_groups:
+        freed[group] = (len(group) - 1) * model_param_bytes
+    return freed

@@ -1,0 +1,43 @@
+"""Structural interface between the KunServe core and the serving system.
+
+The core modules (global memory manager, restore manager, fault tolerance,
+controller) operate on a cluster-serving system but must not import
+:mod:`repro.serving` (which imports the policies that import the core).
+This protocol documents exactly what they rely on; the concrete
+implementation is :class:`repro.serving.system.ClusterServingSystem`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, runtime_checkable
+
+from repro.cluster.network import NetworkFabric
+from repro.engine.group import MicrobatchFormer, ServingGroup
+from repro.engine.instance import ServingInstance
+from repro.engine.metrics import MetricsCollector
+from repro.models.spec import ModelSpec
+from repro.simulation.event_loop import EventLoop
+
+
+@runtime_checkable
+class ServingSystemAPI(Protocol):
+    """What the KunServe core needs from the cluster serving system."""
+
+    loop: EventLoop
+    fabric: NetworkFabric
+    metrics: MetricsCollector
+    model: ModelSpec
+    groups: List[ServingGroup]
+
+    def create_group(
+        self,
+        instances: List[ServingInstance],
+        assignment: Optional[List[List[int]]] = None,
+        microbatch_former: Optional[MicrobatchFormer] = None,
+    ) -> ServingGroup:
+        """Create, register and activate a new serving group."""
+        ...
+
+    def retire_group(self, group: ServingGroup) -> None:
+        """Deactivate a group and remove it from dispatching."""
+        ...

@@ -1,0 +1,141 @@
+"""Batches and microbatches.
+
+An *iteration batch* is the set of work one engine iteration performs: a mix
+of decode steps (one token per running request) and prefill chunks (part or
+all of a queued request's prompt), exactly as in chunked-prefill engines.
+
+For pipelined execution the iteration batch is further divided into
+*microbatches* that flow through the pipeline stages; how that division is
+done (token-count based vs. lookahead cost-balanced) is the subject of §4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from repro.engine.request import Request
+
+
+@dataclass
+class ScheduledChunk:
+    """A unit of work for one request within a batch.
+
+    Attributes:
+        request: the request being advanced.
+        prefix_tokens: context tokens already processed (their KV is read by
+            attention but they are not re-computed).
+        new_tokens: tokens processed by this chunk — a prefill chunk of the
+            prompt, or 1 for a decode step.
+        is_decode: True when this chunk is a decode step.
+    """
+
+    request: Request
+    prefix_tokens: int
+    new_tokens: int
+    is_decode: bool = False
+
+    def __post_init__(self) -> None:
+        if self.prefix_tokens < 0:
+            raise ValueError("prefix_tokens must be >= 0")
+        if self.new_tokens <= 0:
+            raise ValueError("new_tokens must be positive")
+        if self.is_decode and self.new_tokens != 1:
+            raise ValueError("decode chunks process exactly one token")
+
+    @property
+    def total_context(self) -> int:
+        """Context length after this chunk executes."""
+        return self.prefix_tokens + self.new_tokens
+
+    def split(self, first_tokens: int) -> tuple["ScheduledChunk", "ScheduledChunk"]:
+        """Split a prefill chunk into two consecutive chunks.
+
+        The second chunk's prefix includes the first chunk's tokens, which is
+        what makes later chunks more expensive (they attend over the earlier
+        ones) — the effect the lookahead cost model captures.
+        """
+        if self.is_decode:
+            raise ValueError("cannot split a decode chunk")
+        if not 0 < first_tokens < self.new_tokens:
+            raise ValueError(
+                f"first_tokens must be in (0, {self.new_tokens}), got {first_tokens}"
+            )
+        first = ScheduledChunk(
+            request=self.request,
+            prefix_tokens=self.prefix_tokens,
+            new_tokens=first_tokens,
+        )
+        second = ScheduledChunk(
+            request=self.request,
+            prefix_tokens=self.prefix_tokens + first_tokens,
+            new_tokens=self.new_tokens - first_tokens,
+        )
+        return first, second
+
+
+@dataclass
+class MicroBatch:
+    """A set of chunks executed together on one pipeline stage pass."""
+
+    chunks: List[ScheduledChunk] = field(default_factory=list)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def total_new_tokens(self) -> int:
+        return sum(c.new_tokens for c in self.chunks)
+
+    @property
+    def num_decode_chunks(self) -> int:
+        return sum(1 for c in self.chunks if c.is_decode)
+
+    def add(self, chunk: ScheduledChunk) -> None:
+        self.chunks.append(chunk)
+
+    def __iter__(self):
+        return iter(self.chunks)
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+
+@dataclass
+class IterationBatch:
+    """All work performed by one engine iteration."""
+
+    chunks: List[ScheduledChunk] = field(default_factory=list)
+
+    @property
+    def total_new_tokens(self) -> int:
+        return sum(c.new_tokens for c in self.chunks)
+
+    @property
+    def num_requests(self) -> int:
+        return len({c.request.request_id for c in self.chunks})
+
+    @property
+    def decode_chunks(self) -> List[ScheduledChunk]:
+        return [c for c in self.chunks if c.is_decode]
+
+    @property
+    def prefill_chunks(self) -> List[ScheduledChunk]:
+        return [c for c in self.chunks if not c.is_decode]
+
+    @property
+    def empty(self) -> bool:
+        return not self.chunks
+
+    def add(self, chunk: ScheduledChunk) -> None:
+        self.chunks.append(chunk)
+
+    def extend(self, chunks: Iterable[ScheduledChunk]) -> None:
+        self.chunks.extend(chunks)
+
+    def __iter__(self):
+        return iter(self.chunks)
+
+    def __len__(self) -> int:
+        return len(self.chunks)

@@ -1,0 +1,83 @@
+"""Token-count-based microbatch formation (the state of the art, §4.3).
+
+Modern pipelined engines (Sarathi-Serve, vLLM) form microbatches by token
+count: chunks are packed greedily until a token budget is hit, splitting a
+prefill chunk when it does not fit.  This balances *token counts*, not
+execution time — the inefficiency Figure 9 illustrates and the lookahead
+formulation fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.engine.batch import MicroBatch, ScheduledChunk
+
+
+def token_count_microbatches(
+    chunks: Iterable[ScheduledChunk],
+    token_budget: int,
+) -> List[MicroBatch]:
+    """Pack chunks into microbatches of at most ``token_budget`` new tokens.
+
+    Chunks are taken in order (FCFS); a prefill chunk that exceeds the
+    remaining budget of the current microbatch is split so the first part
+    fills the microbatch and the rest starts the next one (chunked prefill).
+    Decode chunks are never split.
+    """
+    if token_budget <= 0:
+        raise ValueError("token_budget must be positive")
+
+    microbatches: List[MicroBatch] = []
+    current = MicroBatch()
+    remaining = token_budget
+
+    def flush() -> None:
+        nonlocal current, remaining
+        if current.num_chunks:
+            microbatches.append(current)
+        current = MicroBatch()
+        remaining = token_budget
+
+    pending: List[ScheduledChunk] = list(chunks)
+    index = 0
+    while index < len(pending):
+        chunk = pending[index]
+        if chunk.new_tokens <= remaining:
+            current.add(chunk)
+            remaining -= chunk.new_tokens
+            index += 1
+            if remaining == 0:
+                flush()
+            continue
+        if chunk.is_decode or remaining == 0:
+            # Decode chunks are atomic; start a fresh microbatch for them.
+            flush()
+            continue
+        first, second = chunk.split(remaining)
+        current.add(first)
+        pending[index] = second
+        flush()
+    flush()
+    return microbatches
+
+
+def split_into_n_microbatches(
+    chunks: Iterable[ScheduledChunk],
+    num_microbatches: int,
+) -> List[MicroBatch]:
+    """Token-count split targeting a fixed number of microbatches.
+
+    Used by the pipeline-parallel baseline: the iteration batch is split
+    into ``num_microbatches`` pieces of (roughly) equal token count so every
+    stage has work.  The split is still token-count based, i.e. it inherits
+    the imbalance problem of Figure 9(b).
+    """
+    chunk_list = list(chunks)
+    if num_microbatches <= 0:
+        raise ValueError("num_microbatches must be positive")
+    total_tokens = sum(c.new_tokens for c in chunk_list)
+    if total_tokens == 0:
+        return []
+    budget = max(1, -(-total_tokens // num_microbatches))
+    return token_count_microbatches(chunk_list, budget)

@@ -1,0 +1,262 @@
+"""Metric collection: per-request latencies and cluster timelines.
+
+The paper reports, per experiment:
+
+* TTFT and TPOT percentiles (P50/P90/P99/P999) — Figure 13, 14, 16;
+* mean TTFT over time and token throughput over time — Figure 12, 16, 17;
+* memory usage/demand over time — Figure 2, 12, 16, 17;
+* bubble time (1 - GPU utilisation) over time — Figure 14;
+* SLO violation ratios at different scale factors — Figure 13.
+
+The :class:`MetricsCollector` gathers the raw material for all of these
+during a simulation run; aggregation helpers turn it into the series and
+percentiles the experiment modules print.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.request import Request
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Percentile ``p`` (0-100) of ``values``; 0.0 for an empty sequence."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), p))
+
+
+@dataclass
+class RequestRecord:
+    """Immutable per-request result extracted when a request finishes."""
+
+    request_id: int
+    arrival_time: float
+    prompt_tokens: int
+    output_tokens: int
+    slo_class: str
+    ttft: Optional[float]
+    mean_tpot: Optional[float]
+    tpot_values: List[float]
+    finish_time: Optional[float]
+    e2e_latency: Optional[float]
+    preemption_count: int
+    swap_count: int
+    migration_count: int
+    finished: bool
+
+    @classmethod
+    def from_request(cls, request: Request) -> "RequestRecord":
+        return cls(
+            request_id=request.request_id,
+            arrival_time=request.arrival_time,
+            prompt_tokens=request.prompt_tokens,
+            output_tokens=request.output_tokens,
+            slo_class=request.slo_class,
+            ttft=request.ttft,
+            mean_tpot=request.mean_tpot,
+            tpot_values=list(request.tpot_values),
+            finish_time=request.finish_time,
+            e2e_latency=request.e2e_latency,
+            preemption_count=request.preemption_count,
+            swap_count=request.swap_count,
+            migration_count=request.migration_count,
+            finished=request.finished,
+        )
+
+
+@dataclass
+class TimelinePoint:
+    """One sample of a time-bucketed series."""
+
+    time: float
+    value: float
+
+
+class TimelineSeries:
+    """Time-bucketed accumulator.
+
+    ``mode='sum'`` accumulates values per bucket (e.g. tokens generated);
+    ``mode='mean'`` averages samples per bucket (e.g. memory usage, bubble
+    fraction).
+    """
+
+    def __init__(self, window_s: float = 1.0, mode: str = "mean") -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if mode not in ("sum", "mean"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.window_s = float(window_s)
+        self.mode = mode
+        self._sums: Dict[int, float] = defaultdict(float)
+        self._counts: Dict[int, int] = defaultdict(int)
+
+    def add(self, time: float, value: float) -> None:
+        bucket = int(time // self.window_s)
+        self._sums[bucket] += value
+        self._counts[bucket] += 1
+
+    def points(self) -> List[TimelinePoint]:
+        points = []
+        for bucket in sorted(self._sums):
+            value = self._sums[bucket]
+            if self.mode == "mean" and self._counts[bucket] > 0:
+                value /= self._counts[bucket]
+            points.append(TimelinePoint(time=bucket * self.window_s, value=value))
+        return points
+
+    def values(self) -> List[float]:
+        return [p.value for p in self.points()]
+
+    def max(self) -> float:
+        points = self.points()
+        return max((p.value for p in points), default=0.0)
+
+    def mean(self) -> float:
+        points = self.points()
+        if not points:
+            return 0.0
+        return sum(p.value for p in points) / len(points)
+
+
+@dataclass
+class IterationRecord:
+    """One engine iteration of one serving group."""
+
+    group_id: int
+    start_time: float
+    duration: float
+    new_tokens: int
+    num_requests: int
+    num_stages: int
+    bubble_fraction: float
+
+
+class MetricsCollector:
+    """Collects per-request records, iteration records and timelines."""
+
+    def __init__(self, timeline_window_s: float = 1.0) -> None:
+        self.timeline_window_s = timeline_window_s
+        self.records: List[RequestRecord] = []
+        self.iterations: List[IterationRecord] = []
+        self.throughput = TimelineSeries(timeline_window_s, mode="sum")
+        self.bubble_time = TimelineSeries(timeline_window_s, mode="mean")
+        self.memory_used = TimelineSeries(timeline_window_s, mode="mean")
+        self.memory_demand = TimelineSeries(timeline_window_s, mode="mean")
+        self.memory_capacity = TimelineSeries(timeline_window_s, mode="mean")
+        self.queue_length = TimelineSeries(timeline_window_s, mode="mean")
+        #: free-form event markers (drop start/end, restore start/end, ...)
+        self.events: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(self, request: Request) -> RequestRecord:
+        record = RequestRecord.from_request(request)
+        self.records.append(record)
+        return record
+
+    def record_iteration(
+        self,
+        *,
+        group_id: int,
+        start_time: float,
+        duration: float,
+        new_tokens: int,
+        num_requests: int,
+        num_stages: int = 1,
+        bubble_fraction: float = 0.0,
+    ) -> None:
+        self.iterations.append(
+            IterationRecord(
+                group_id=group_id,
+                start_time=start_time,
+                duration=duration,
+                new_tokens=new_tokens,
+                num_requests=num_requests,
+                num_stages=num_stages,
+                bubble_fraction=bubble_fraction,
+            )
+        )
+        end = start_time + duration
+        self.throughput.add(end, float(new_tokens))
+        self.bubble_time.add(end, bubble_fraction)
+
+    def sample_memory(
+        self, time: float, *, used_bytes: float, capacity_bytes: float, demand_bytes: float
+    ) -> None:
+        self.memory_used.add(time, used_bytes)
+        self.memory_capacity.add(time, capacity_bytes)
+        self.memory_demand.add(time, demand_bytes)
+
+    def sample_queue(self, time: float, queued_requests: int) -> None:
+        self.queue_length.add(time, float(queued_requests))
+
+    def mark_event(self, time: float, kind: str, **details: object) -> None:
+        self.events.append({"time": time, "kind": kind, **details})
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def ttft_values(self, slo_class: Optional[str] = None) -> List[float]:
+        return [
+            r.ttft
+            for r in self.records
+            if r.ttft is not None and (slo_class is None or r.slo_class == slo_class)
+        ]
+
+    def tpot_values(self, slo_class: Optional[str] = None) -> List[float]:
+        """Per-request mean TPOT values (the granularity the paper reports)."""
+        return [
+            r.mean_tpot
+            for r in self.records
+            if r.mean_tpot is not None and (slo_class is None or r.slo_class == slo_class)
+        ]
+
+    def ttft_percentile(self, p: float) -> float:
+        return percentile(self.ttft_values(), p)
+
+    def tpot_percentile(self, p: float) -> float:
+        return percentile(self.tpot_values(), p)
+
+    def mean_ttft_timeline(self, window_s: float = 5.0) -> List[TimelinePoint]:
+        """Mean TTFT of requests bucketed by their arrival time (Figure 12)."""
+        series = TimelineSeries(window_s, mode="mean")
+        for record in self.records:
+            if record.ttft is not None:
+                series.add(record.arrival_time, record.ttft)
+        return series.points()
+
+    def total_output_tokens(self) -> int:
+        return sum(r.output_tokens for r in self.records)
+
+    def finished_count(self) -> int:
+        return sum(1 for r in self.records if r.finished)
+
+    def mean_bubble_fraction(self) -> float:
+        multi_stage = [i.bubble_fraction for i in self.iterations if i.num_stages > 1]
+        if not multi_stage:
+            return 0.0
+        return float(np.mean(multi_stage))
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers used by tests and report printing."""
+        return {
+            "requests": float(len(self.records)),
+            "finished": float(self.finished_count()),
+            "ttft_p50": self.ttft_percentile(50),
+            "ttft_p90": self.ttft_percentile(90),
+            "ttft_p99": self.ttft_percentile(99),
+            "ttft_p999": self.ttft_percentile(99.9),
+            "tpot_p50": self.tpot_percentile(50),
+            "tpot_p90": self.tpot_percentile(90),
+            "tpot_p99": self.tpot_percentile(99),
+            "tpot_p999": self.tpot_percentile(99.9),
+            "throughput_tokens_per_s": self.throughput.mean() / self.timeline_window_s,
+            "mean_bubble_fraction": self.mean_bubble_fraction(),
+        }

@@ -1,0 +1,127 @@
+"""Pipeline-parallel execution model.
+
+When parameters are dropped, requests execute across a group of instances
+that each hold a contiguous slice of layers.  An iteration's work is divided
+into microbatches which flow through the stages; stage ``s`` can only start
+microbatch ``m`` after stage ``s-1`` finished it and after the stage's own
+previous microbatch completed.  Unequal microbatch times leave stages idle —
+the pipeline *bubbles* of Figure 8 that the lookahead formulation (§4.3)
+attacks.
+
+This module computes the makespan and bubble statistics of a schedule given
+the per-stage execution time of every microbatch and the inter-stage
+activation-transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class PipelineStats:
+    """Result of simulating one pipelined iteration."""
+
+    makespan: float
+    stage_busy: List[float] = field(default_factory=list)
+    num_stages: int = 0
+    num_microbatches: int = 0
+
+    @property
+    def total_busy(self) -> float:
+        return sum(self.stage_busy)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Fraction of stage-time spent idle (1 - GPU utilisation)."""
+        if self.makespan <= 0 or self.num_stages == 0:
+            return 0.0
+        capacity = self.makespan * self.num_stages
+        return max(0.0, 1.0 - self.total_busy / capacity)
+
+
+class PipelineExecution:
+    """Static helpers to evaluate a pipelined schedule."""
+
+    @staticmethod
+    def makespan(
+        stage_times: Sequence[Sequence[float]],
+        *,
+        comm_time: float = 0.0,
+        comm_times: Sequence[Sequence[float]] = (),
+    ) -> PipelineStats:
+        """Compute the makespan of a microbatch schedule.
+
+        Args:
+            stage_times: ``stage_times[m][s]`` is the execution time of
+                microbatch ``m`` on stage ``s``.  All microbatches must have
+                the same number of stages.
+            comm_time: constant activation-transfer time between consecutive
+                stages (used when ``comm_times`` is not given).
+            comm_times: optional ``comm_times[m][s]`` giving the transfer
+                time of microbatch ``m`` from stage ``s`` to ``s+1``.
+
+        Returns:
+            :class:`PipelineStats` with the makespan, per-stage busy time and
+            bubble fraction.
+        """
+        num_microbatches = len(stage_times)
+        if num_microbatches == 0:
+            return PipelineStats(makespan=0.0, stage_busy=[], num_stages=0, num_microbatches=0)
+        num_stages = len(stage_times[0])
+        for row in stage_times:
+            if len(row) != num_stages:
+                raise ValueError("all microbatches must span the same number of stages")
+
+        def comm(m: int, s: int) -> float:
+            if comm_times:
+                return comm_times[m][s]
+            return comm_time
+
+        finish = [[0.0] * num_stages for _ in range(num_microbatches)]
+        for m in range(num_microbatches):
+            for s in range(num_stages):
+                prev_same_stage = finish[m - 1][s] if m > 0 else 0.0
+                prev_stage = finish[m][s - 1] + comm(m, s - 1) if s > 0 else 0.0
+                start = max(prev_same_stage, prev_stage)
+                finish[m][s] = start + stage_times[m][s]
+
+        makespan = max(finish[m][num_stages - 1] for m in range(num_microbatches))
+        stage_busy = [
+            sum(stage_times[m][s] for m in range(num_microbatches)) for s in range(num_stages)
+        ]
+        return PipelineStats(
+            makespan=makespan,
+            stage_busy=stage_busy,
+            num_stages=num_stages,
+            num_microbatches=num_microbatches,
+        )
+
+    @staticmethod
+    def balanced_layer_partition(num_layers: int, num_stages: int) -> List[int]:
+        """Split ``num_layers`` layers into ``num_stages`` contiguous slices.
+
+        Returns the number of layers of each stage; earlier stages get the
+        remainder (matching how the paper splits, e.g. 0–4 / 5–7).
+        """
+        if num_stages <= 0:
+            raise ValueError("num_stages must be positive")
+        if num_layers < num_stages:
+            raise ValueError(
+                f"cannot split {num_layers} layers into {num_stages} stages"
+            )
+        base = num_layers // num_stages
+        remainder = num_layers % num_stages
+        return [base + (1 if s < remainder else 0) for s in range(num_stages)]
+
+    @staticmethod
+    def layer_ranges(num_layers: int, num_stages: int) -> List[range]:
+        """Contiguous layer-id ranges for each stage."""
+        counts = PipelineExecution.balanced_layer_partition(num_layers, num_stages)
+        ranges: List[range] = []
+        start = 0
+        for count in counts:
+            ranges.append(range(start, start + count))
+            start += count
+        return ranges

@@ -1,0 +1,391 @@
+"""Continuous-batching scheduler with chunked prefill.
+
+This is the vLLM/Sarathi-class scheduler the paper's systems all share:
+every iteration it fuses decode steps of running requests with prefill
+chunks of queued requests into one batch bounded by a token budget, FCFS,
+with block-granular KV accounting.  When the KV cache cannot hold the next
+token it preempts the lowest-priority running request, either by discarding
+its KV cache (vLLM's recompute mode) or by swapping it to host DRAM
+(InferCept's mode); when even that is impossible, arriving requests queue —
+which is exactly the overloading behaviour the paper studies.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from repro.engine.batch import IterationBatch, ScheduledChunk
+from repro.engine.request import Request, RequestState
+from repro.memory.paged_kv import PagedKVCache
+
+
+class PreemptionMode(enum.Enum):
+    """What to do with a victim request when the KV cache is full."""
+
+    RECOMPUTE = "recompute"
+    SWAP = "swap"
+
+
+@dataclass
+class SchedulerConfig:
+    """Scheduler tunables.
+
+    Attributes:
+        token_budget: maximum new tokens processed per iteration (chunked
+            prefill budget).
+        max_running_requests: cap on concurrently admitted requests.
+        preemption_mode: recompute (vLLM default) or swap (InferCept).
+        swap_in_watermark: fraction of KV blocks that must be free before a
+            swapped-out request is brought back.
+    """
+
+    token_budget: int = 1024
+    max_running_requests: int = 512
+    preemption_mode: PreemptionMode = PreemptionMode.RECOMPUTE
+    swap_in_watermark: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.token_budget <= 0:
+            raise ValueError("token_budget must be positive")
+        if self.max_running_requests <= 0:
+            raise ValueError("max_running_requests must be positive")
+        if not 0 <= self.swap_in_watermark < 1:
+            raise ValueError("swap_in_watermark must be in [0, 1)")
+
+
+@dataclass
+class SchedulerHooks:
+    """Callbacks the owning serving group installs.
+
+    The scheduler makes policy decisions (who to preempt, who to swap);
+    the group performs the mechanism (network / PCIe transfers, stalls).
+    """
+
+    on_preempt: Optional[Callable[[Request], None]] = None
+    on_swap_out: Optional[Callable[[Request], None]] = None
+    on_swap_in: Optional[Callable[[Request], None]] = None
+
+
+class ContinuousBatchingScheduler:
+    """Iteration-level scheduler for one serving group."""
+
+    def __init__(
+        self,
+        kv_cache: PagedKVCache,
+        config: Optional[SchedulerConfig] = None,
+        hooks: Optional[SchedulerHooks] = None,
+    ) -> None:
+        self.kv = kv_cache
+        self.config = config if config is not None else SchedulerConfig()
+        self.hooks = hooks if hooks is not None else SchedulerHooks()
+        self.waiting: Deque[Request] = deque()
+        self.running: List[Request] = []
+        self.swapped: List[Request] = []
+        #: True when the last ``form_batch`` had to leave work unscheduled
+        #: because of insufficient KV memory (overload signal).
+        self.memory_blocked: bool = False
+        #: cumulative number of preemptions / swaps performed.
+        self.preemption_count: int = 0
+        self.swap_out_count: int = 0
+
+    # ------------------------------------------------------------------
+    # Request intake / removal
+    # ------------------------------------------------------------------
+    def add_request(self, request: Request) -> None:
+        """Enqueue a newly-arrived request (FCFS)."""
+        request.state = RequestState.QUEUED
+        self.waiting.append(request)
+
+    def add_running(self, request: Request, kv_tokens: int) -> None:
+        """Adopt a request that already has ``kv_tokens`` of KV cache.
+
+        Used when requests move between groups (migration, group merges);
+        the caller guarantees the KV content is or will be present.
+        """
+        if kv_tokens > 0:
+            self.kv.allocate(request.request_id, kv_tokens)
+        request.state = RequestState.RUNNING
+        self.running.append(request)
+
+    def remove_request(self, request: Request) -> int:
+        """Remove a request from all queues; returns its freed KV tokens."""
+        freed_tokens = self.kv.tokens_of(request.request_id)
+        self.kv.free(request.request_id)
+        if request in self.running:
+            self.running.remove(request)
+        if request in self.swapped:
+            self.swapped.remove(request)
+        try:
+            self.waiting.remove(request)
+        except ValueError:
+            pass
+        return freed_tokens
+
+    # ------------------------------------------------------------------
+    # Load queries (used by dispatcher / monitor)
+    # ------------------------------------------------------------------
+    @property
+    def num_waiting(self) -> int:
+        return len(self.waiting)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    @property
+    def num_swapped(self) -> int:
+        return len(self.swapped)
+
+    def used_kv_tokens(self) -> int:
+        return self.kv.used_tokens
+
+    def queued_demand_tokens(self) -> int:
+        """KV tokens the queued (and swapped) requests will need to start."""
+        waiting_demand = sum(r.remaining_prefill_tokens for r in self.waiting)
+        swapped_demand = sum(r.context_tokens for r in self.swapped)
+        return waiting_demand + swapped_demand
+
+    def total_demand_tokens(self) -> int:
+        """In-processing plus head-of-line demand (the paper's load metric).
+
+        Running requests count their resident KV plus the prefill they still
+        have to ingest; queued and swapped requests count in full.
+        """
+        running_remaining = sum(
+            max(0, r.prefill_target - self.kv.tokens_of(r.request_id)) for r in self.running
+        )
+        return self.used_kv_tokens() + running_remaining + self.queued_demand_tokens()
+
+    def has_pending_work(self, now: float) -> bool:
+        """Is there any work that could be scheduled at or after ``now``?"""
+        if self.waiting:
+            return True
+        for request in self.running:
+            if not request.finished:
+                return True
+        return bool(self.swapped)
+
+    def next_stall_expiry(self, now: float) -> Optional[float]:
+        """Earliest future time at which a stalled request becomes runnable."""
+        times = [
+            r.stall_until
+            for r in list(self.running) + list(self.waiting)
+            if r.stall_until > now
+        ]
+        return min(times) if times else None
+
+    # ------------------------------------------------------------------
+    # Batch formation
+    # ------------------------------------------------------------------
+    def form_batch(self, now: float) -> IterationBatch:
+        """Build the next iteration's batch (decodes first, then prefill)."""
+        self.memory_blocked = False
+        batch = IterationBatch()
+        budget = self.config.token_budget
+
+        self._try_swap_in(now)
+
+        budget = self._schedule_decodes(batch, budget, now)
+        budget = self._schedule_running_prefills(batch, budget, now)
+        self._admit_waiting(batch, budget, now)
+        return batch
+
+    def _schedule_decodes(self, batch: IterationBatch, budget: int, now: float) -> int:
+        candidates = [
+            r
+            for r in self.running
+            if r.prefill_done and not r.finished and not r.is_stalled(now)
+        ]
+        candidates.sort(key=lambda r: (r.arrival_time, r.request_id))
+        for request in candidates:
+            if budget <= 0:
+                break
+            if request not in self.running:
+                # Already evicted earlier in this pass to make room for a
+                # higher-priority request.
+                continue
+            if not self.kv.can_allocate(request.request_id, 1):
+                if not self._make_room(request, 1, now):
+                    # No lower-priority victim exists: the request itself is
+                    # the lowest priority one, so it gets preempted (vLLM's
+                    # behaviour) rather than silently holding memory.
+                    self.memory_blocked = True
+                    self._preempt(request, now)
+                    continue
+                if request not in self.running:
+                    continue
+            self.kv.allocate(request.request_id, 1)
+            batch.add(
+                ScheduledChunk(
+                    request=request,
+                    prefix_tokens=request.context_tokens,
+                    new_tokens=1,
+                    is_decode=True,
+                )
+            )
+            budget -= 1
+        return budget
+
+    def _schedule_running_prefills(self, batch: IterationBatch, budget: int, now: float) -> int:
+        candidates = [
+            r
+            for r in self.running
+            if not r.prefill_done and not r.is_stalled(now)
+        ]
+        candidates.sort(key=lambda r: (r.arrival_time, r.request_id))
+        for request in candidates:
+            if budget <= 0:
+                break
+            if request not in self.running:
+                continue
+            chunk_tokens = min(budget, request.remaining_prefill_tokens)
+            chunk_tokens = self._fit_to_memory(request, chunk_tokens)
+            if chunk_tokens <= 0:
+                self.memory_blocked = True
+                continue
+            self.kv.allocate(request.request_id, chunk_tokens)
+            batch.add(
+                ScheduledChunk(
+                    request=request,
+                    prefix_tokens=request.prefill_progress,
+                    new_tokens=chunk_tokens,
+                )
+            )
+            budget -= chunk_tokens
+        return budget
+
+    def _admit_waiting(self, batch: IterationBatch, budget: int, now: float) -> int:
+        while budget > 0 and self.waiting and len(self.running) < self.config.max_running_requests:
+            request = self.waiting[0]
+            if request.is_stalled(now):
+                break
+            chunk_tokens = min(budget, request.remaining_prefill_tokens)
+            chunk_tokens = self._fit_to_memory(request, chunk_tokens)
+            if chunk_tokens <= 0:
+                # Head-of-line blocking: FCFS admission does not skip ahead.
+                self.memory_blocked = True
+                break
+            self.waiting.popleft()
+            request.state = RequestState.RUNNING
+            self.running.append(request)
+            self.kv.allocate(request.request_id, chunk_tokens)
+            batch.add(
+                ScheduledChunk(
+                    request=request,
+                    prefix_tokens=request.prefill_progress,
+                    new_tokens=chunk_tokens,
+                )
+            )
+            budget -= chunk_tokens
+        return budget
+
+    def _fit_to_memory(self, request: Request, desired_tokens: int) -> int:
+        """Largest prefix of ``desired_tokens`` the KV cache can hold now."""
+        if desired_tokens <= 0:
+            return 0
+        if self.kv.can_allocate(request.request_id, desired_tokens):
+            return desired_tokens
+        current = self.kv.tokens_of(request.request_id)
+        slack_in_tail = self.kv.blocks_for_tokens(current) * self.kv.block_size - current
+        available = slack_in_tail + self.kv.free_blocks * self.kv.block_size
+        return max(0, min(desired_tokens, available))
+
+    # ------------------------------------------------------------------
+    # Preemption
+    # ------------------------------------------------------------------
+    def _make_room(self, for_request: Request, tokens_needed: int, now: float) -> bool:
+        """Preempt later-arrived requests until ``for_request`` fits."""
+        while not self.kv.can_allocate(for_request.request_id, tokens_needed):
+            victim = self._pick_victim(exclude=for_request)
+            if victim is None:
+                return False
+            self._preempt(victim, now)
+        return True
+
+    def _pick_victim(self, exclude: Request) -> Optional[Request]:
+        """Lowest-priority (latest-arrived) running request strictly behind
+        ``exclude`` in FCFS order — a request is never evicted for the sake
+        of a lower-priority one."""
+        candidates = [
+            r
+            for r in self.running
+            if r is not exclude
+            and not r.finished
+            and (r.arrival_time, r.request_id) > (exclude.arrival_time, exclude.request_id)
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: (r.arrival_time, r.request_id))
+
+    def _preempt(self, victim: Request, now: float) -> None:
+        if victim not in self.running:
+            return
+        self.kv.free(victim.request_id)
+        self.running.remove(victim)
+        if self.config.preemption_mode == PreemptionMode.RECOMPUTE:
+            victim.reset_for_recompute()
+            self.waiting.appendleft(victim)
+            self.preemption_count += 1
+            if self.hooks.on_preempt is not None:
+                self.hooks.on_preempt(victim)
+        else:
+            victim.state = RequestState.SWAPPED
+            victim.swap_count += 1
+            self.swapped.append(victim)
+            self.swap_out_count += 1
+            if self.hooks.on_swap_out is not None:
+                self.hooks.on_swap_out(victim)
+
+    def _try_swap_in(self, now: float) -> None:
+        """Bring back swapped requests once memory has pressure has eased."""
+        if not self.swapped:
+            return
+        watermark_blocks = int(self.kv.num_blocks * self.config.swap_in_watermark)
+        candidates = sorted(self.swapped, key=lambda r: (r.arrival_time, r.request_id))
+        for request in candidates:
+            if request.is_stalled(now):
+                continue
+            if len(self.running) >= self.config.max_running_requests:
+                break
+            tokens = request.context_tokens
+            needed_blocks = self.kv.blocks_for_tokens(tokens)
+            if self.kv.free_blocks - needed_blocks < watermark_blocks:
+                break
+            self.kv.allocate(request.request_id, tokens)
+            self.swapped.remove(request)
+            request.state = RequestState.RUNNING
+            self.running.append(request)
+            if self.hooks.on_swap_in is not None:
+                self.hooks.on_swap_in(request)
+
+    # ------------------------------------------------------------------
+    # Batch completion
+    # ------------------------------------------------------------------
+    def complete_batch(self, batch: IterationBatch, end_time: float) -> List[Request]:
+        """Apply the effects of an executed batch; returns finished requests."""
+        finished: List[Request] = []
+        for chunk in batch:
+            request = chunk.request
+            if chunk.is_decode:
+                request.record_output_token(end_time)
+            else:
+                request.record_prefill(chunk.new_tokens, end_time)
+                if request.prefill_done and request.output_tokens == 0:
+                    request.record_output_token(end_time)
+            if request.finished and request not in finished:
+                finished.append(request)
+        for request in finished:
+            self.kv.free(request.request_id)
+            if request in self.running:
+                self.running.remove(request)
+        return finished
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Scheduler(waiting={self.num_waiting}, running={self.num_running}, "
+            f"swapped={self.num_swapped}, kv_used={self.kv.used_blocks}/"
+            f"{self.kv.num_blocks})"
+        )

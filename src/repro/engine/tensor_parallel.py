@@ -1,0 +1,43 @@
+"""Tensor-parallelism cost helpers.
+
+An instance serving a large model (e.g. Qwen-2.5-72B on 4 GPUs) splits every
+layer across its GPUs.  Compute and memory bandwidth scale with the TP
+degree; the price is two all-reduces of the activations per layer over the
+scale-up (NVLink) fabric.  The paper treats a multi-GPU instance "as a whole
+as a single logical GPU" — these helpers provide exactly that aggregation
+plus the all-reduce overhead.
+"""
+
+from __future__ import annotations
+
+
+def allreduce_time(size_bytes: float, bandwidth: float, degree: int, latency_s: float = 10e-6) -> float:
+    """Time of one ring all-reduce of ``size_bytes`` across ``degree`` ranks.
+
+    Uses the standard ``2*(n-1)/n`` ring cost plus a fixed per-operation
+    launch latency.  Returns 0 for degree 1.
+    """
+    if degree <= 1:
+        return 0.0
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive for multi-GPU instances")
+    volume_factor = 2.0 * (degree - 1) / degree
+    return latency_s + volume_factor * size_bytes / bandwidth
+
+
+def tp_layer_comm_time(
+    tokens: int,
+    hidden_size: int,
+    dtype_bytes: int,
+    bandwidth: float,
+    degree: int,
+) -> float:
+    """Communication time added to one layer by tensor parallelism.
+
+    Each transformer layer performs two all-reduces of the activation
+    (after attention and after the FFN).
+    """
+    if degree <= 1:
+        return 0.0
+    activation_bytes = tokens * hidden_size * dtype_bytes
+    return 2.0 * allreduce_time(activation_bytes, bandwidth, degree)

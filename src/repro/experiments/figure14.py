@@ -1,0 +1,90 @@
+"""Figure 14: ablation study of KunServe's techniques.
+
+Runs the LongBench x 14B workload with the techniques enabled
+incrementally: vLLM (DP), vLLM (PP), + dynamic parameter drop,
++ coordinated KV exchange, + lookahead batch formulation.  Reports TTFT /
+TPOT percentiles and the mean pipeline bubble time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.kunserve import KunServeConfig
+from repro.experiments.runner import (
+    ExperimentScale,
+    QUICK_SCALE,
+    WORKLOAD_PRESETS,
+    build_preset_workload,
+    run_policy_on_workload,
+)
+from repro.experiments.report import format_table
+from repro.policies import KunServePolicy, VLLMPolicy
+
+
+def _ablation_policies():
+    return [
+        ("vLLM (DP)", VLLMPolicy()),
+        ("vLLM (PP)", VLLMPolicy(pp_degree=2)),
+        (
+            "+Dynamic drop",
+            KunServePolicy(
+                KunServeConfig(coordinated_exchange=False, use_lookahead=False),
+                label="+Dynamic drop",
+            ),
+        ),
+        (
+            "+Coordinated ex.",
+            KunServePolicy(
+                KunServeConfig(coordinated_exchange=True, use_lookahead=False),
+                label="+Coordinated ex.",
+            ),
+        ),
+        (
+            "+Lookahead",
+            KunServePolicy(
+                KunServeConfig(coordinated_exchange=True, use_lookahead=True),
+                label="+Lookahead",
+            ),
+        ),
+    ]
+
+
+def run_figure14(
+    scale: ExperimentScale = QUICK_SCALE,
+    *,
+    seed: int = 42,
+    workload_key: str = "longbench-14b",
+) -> List[Dict[str, object]]:
+    """Incremental-technique ablation on the LongBench workload."""
+    preset = WORKLOAD_PRESETS[workload_key]
+    workload = build_preset_workload(preset, scale, seed=seed)
+    rows: List[Dict[str, object]] = []
+    for label, policy in _ablation_policies():
+        result = run_policy_on_workload(policy, preset, scale, seed=seed, workload=workload)
+        metrics = result.metrics
+        rows.append(
+            {
+                "config": label,
+                "ttft_p50": metrics.ttft_percentile(50),
+                "ttft_p90": metrics.ttft_percentile(90),
+                "ttft_p99": metrics.ttft_percentile(99),
+                "ttft_p999": metrics.ttft_percentile(99.9),
+                "tpot_p50": metrics.tpot_percentile(50),
+                "tpot_p99": metrics.tpot_percentile(99),
+                "mean_bubble_pct": 100.0 * metrics.mean_bubble_fraction(),
+                "throughput_tok_s": result.summary["throughput_tokens_per_s"],
+                "drops": len([e for e in metrics.events if e["kind"] == "drop"]),
+            }
+        )
+    return rows
+
+
+def format_figure14(rows: Optional[List[Dict[str, object]]] = None) -> str:
+    if rows is None:
+        rows = run_figure14()
+    return format_table(rows)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(format_figure14())

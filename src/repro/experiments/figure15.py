@@ -1,0 +1,98 @@
+"""Figure 15: accuracy of the batch-formulation cost model.
+
+Compares, against the ground-truth latency model, (a) KunServe's fitted
+cost model (Eq. 1-3) and (b) the prior-work baseline that ignores attention
+cost, for prefill chunks without a prefix (left panel) and with a prefix
+(right panel), across prompt lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.specs import A800_80GB
+from repro.core.cost_model import (
+    BatchCostModel,
+    NoAttentionCostModel,
+    fit_cost_model,
+    generate_profiling_samples,
+)
+from repro.engine.batch import ScheduledChunk
+from repro.engine.latency_model import LatencyModel
+from repro.engine.request import Request
+from repro.experiments.report import format_table
+from repro.models.catalog import QWEN_2_5_14B
+
+DEFAULT_PROMPT_LENGTHS = (512, 1024, 2048, 4096, 6144, 8192)
+
+
+def _chunk(prefix: int, tokens: int) -> ScheduledChunk:
+    request = Request(arrival_time=0.0, prompt_tokens=prefix + tokens, max_output_tokens=1)
+    return ScheduledChunk(request=request, prefix_tokens=prefix, new_tokens=tokens)
+
+
+def run_figure15(
+    *,
+    prompt_lengths: Sequence[int] = DEFAULT_PROMPT_LENGTHS,
+    prefix_for_right_panel: int = 2048,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Estimated-vs-actual latency with and without prefix attention."""
+    latency = LatencyModel(A800_80GB, QWEN_2_5_14B)
+    samples = generate_profiling_samples(latency)
+    params = fit_cost_model(samples)
+    ours = BatchCostModel(params)
+    no_attention = NoAttentionCostModel(params)
+
+    def rows_for(prefix: int) -> List[Dict[str, object]]:
+        rows = []
+        for prompt in prompt_lengths:
+            chunk = _chunk(prefix, prompt)
+            actual = latency.batch_time([chunk])
+            est_ours = ours.microbatch_cost([chunk])
+            est_no_attn = no_attention.microbatch_cost([chunk])
+            rows.append(
+                {
+                    "prompt_tokens": prompt,
+                    "prefix_tokens": prefix,
+                    "actual_ms": 1000 * actual,
+                    "ours_ms": 1000 * est_ours,
+                    "no_attn_ms": 1000 * est_no_attn,
+                    "ours_error_pct": 100 * abs(est_ours - actual) / actual,
+                    "no_attn_error_pct": 100 * abs(est_no_attn - actual) / actual,
+                }
+            )
+        return rows
+
+    return {
+        "prefill_without_prefix": rows_for(0),
+        "prefill_with_prefix": rows_for(prefix_for_right_panel),
+        "params": [
+            {
+                "alpha": params.alpha,
+                "beta": params.beta,
+                "gamma": params.gamma,
+                "lam": params.lam,
+            }
+        ],
+    }
+
+
+def max_errors(results: Dict[str, List[Dict[str, object]]]) -> Dict[str, float]:
+    """Maximum relative error of each estimator over both panels."""
+    rows = results["prefill_without_prefix"] + results["prefill_with_prefix"]
+    return {
+        "ours_max_error_pct": max(r["ours_error_pct"] for r in rows),
+        "no_attn_max_error_pct": max(r["no_attn_error_pct"] for r in rows),
+    }
+
+
+def format_figure15(results: Optional[Dict[str, List[Dict[str, object]]]] = None) -> str:
+    if results is None:
+        results = run_figure15()
+    parts = ["Figure 15 — prefill without prefix", format_table(results["prefill_without_prefix"])]
+    parts += ["", "Figure 15 — prefill with prefix", format_table(results["prefill_with_prefix"])]
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(format_figure15())

@@ -1,0 +1,76 @@
+"""Figure 5: latency of different degrees of parameter dropping.
+
+Compares full data parallelism against statically dropping 50 % / 75 % /
+88 % of each instance's layers (i.e. pipeline groups of 2, 4 and 8 stages)
+on the BurstGPT dataset: the more parameters dropped, the more pipeline
+stages a request crosses and the higher its TTFT/TPOT — the trade-off the
+drop-plan generator minimises by merging as few instances as possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engine.metrics import percentile
+from repro.experiments.runner import (
+    ExperimentScale,
+    WORKLOAD_PRESETS,
+    build_preset_workload,
+    run_policy_on_workload,
+)
+from repro.experiments.report import format_table
+from repro.policies import VLLMPolicy
+
+#: (label, pipeline degree, fraction of parameters dropped per instance)
+DROP_CONFIGS = [
+    ("DP (full params)", 1, 0.0),
+    ("Drop 50% layers", 2, 0.50),
+    ("Drop 75% layers", 4, 0.75),
+    ("Drop 88% layers", 8, 0.875),
+]
+
+
+def run_figure5(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    seed: int = 42,
+    max_degree: int = 4,
+) -> List[Dict[str, object]]:
+    """TTFT / TPOT percentiles for increasing parameter-drop degrees."""
+    if scale is None:
+        scale = ExperimentScale(
+            name="figure5", num_instances=4, trace_duration_s=60.0, drain_timeout_s=60.0
+        )
+    preset = WORKLOAD_PRESETS["burstgpt-14b"]
+    workload = build_preset_workload(preset, scale, seed=seed)
+    rows: List[Dict[str, object]] = []
+    for label, degree, dropped_fraction in DROP_CONFIGS:
+        if degree > max_degree or degree > scale.num_instances:
+            continue
+        policy = VLLMPolicy(pp_degree=degree)
+        result = run_policy_on_workload(policy, preset, scale, seed=seed, workload=workload)
+        ttfts = result.metrics.ttft_values()
+        tpots = result.metrics.tpot_values()
+        rows.append(
+            {
+                "config": label,
+                "pipeline_stages": degree,
+                "params_dropped_pct": 100 * dropped_fraction,
+                "ttft_p50": percentile(ttfts, 50),
+                "ttft_p99": percentile(ttfts, 99),
+                "tpot_p50": percentile(tpots, 50),
+                "tpot_p99": percentile(tpots, 99),
+                "throughput_tokens_per_s": result.summary["throughput_tokens_per_s"],
+            }
+        )
+    return rows
+
+
+def format_figure5(rows=None) -> str:
+    if rows is None:
+        rows = run_figure5()
+    return format_table(rows)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(format_figure5())

@@ -1,0 +1,118 @@
+"""Physical GPU memory pool (``cuMemCreate`` analog).
+
+The pool hands out fixed-size physical chunks.  Chunks are the unit the
+local memory manager moves between the parameter region and the KV-cache
+region when executing a drop or restore plan.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: Default physical allocation granularity, matching CUDA VMM's 2 MiB.
+DEFAULT_CHUNK_BYTES = 2 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PhysicalChunk:
+    """One physically-backed allocation of ``size_bytes`` bytes."""
+
+    chunk_id: int
+    size_bytes: int
+
+
+class PhysicalMemoryPool:
+    """Fixed-capacity pool of physical chunks for one serving instance.
+
+    The pool intentionally refuses to over-allocate: requesting more memory
+    than is free raises :class:`MemoryError`, which is what forces the
+    serving engine to queue or preempt requests — the phenomenon the paper
+    studies.
+    """
+
+    def __init__(self, total_bytes: int, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        if total_bytes <= 0:
+            raise ValueError(f"total_bytes must be positive, got {total_bytes}")
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+        self.chunk_bytes = int(chunk_bytes)
+        self.total_chunks = int(total_bytes // chunk_bytes)
+        if self.total_chunks == 0:
+            raise ValueError("total_bytes smaller than one chunk")
+        self._counter = itertools.count()
+        self._allocated: Dict[int, PhysicalChunk] = {}
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self.total_chunks * self.chunk_bytes
+
+    @property
+    def allocated_chunks(self) -> int:
+        return len(self._allocated)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.allocated_chunks * self.chunk_bytes
+
+    @property
+    def free_chunks(self) -> int:
+        return self.total_chunks - self.allocated_chunks
+
+    @property
+    def free_bytes(self) -> int:
+        return self.free_chunks * self.chunk_bytes
+
+    def chunks_needed(self, size_bytes: int) -> int:
+        """Number of chunks needed to back ``size_bytes`` bytes."""
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
+        return -(-int(size_bytes) // self.chunk_bytes)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, size_bytes: int) -> List[PhysicalChunk]:
+        """Allocate enough chunks to back ``size_bytes`` bytes.
+
+        Raises:
+            MemoryError: when the pool does not have enough free chunks.
+        """
+        needed = self.chunks_needed(size_bytes)
+        if needed > self.free_chunks:
+            raise MemoryError(
+                f"out of GPU memory: need {needed} chunks "
+                f"({size_bytes} bytes), only {self.free_chunks} free"
+            )
+        chunks = []
+        for _ in range(needed):
+            chunk = PhysicalChunk(chunk_id=next(self._counter), size_bytes=self.chunk_bytes)
+            self._allocated[chunk.chunk_id] = chunk
+            chunks.append(chunk)
+        return chunks
+
+    def free(self, chunks: List[PhysicalChunk]) -> None:
+        """Return chunks to the pool.
+
+        Raises:
+            KeyError: if any chunk was not allocated from this pool (or was
+                already freed) — double frees are bugs we want loud.
+        """
+        for chunk in chunks:
+            if chunk.chunk_id not in self._allocated:
+                raise KeyError(f"chunk {chunk.chunk_id} is not allocated from this pool")
+        for chunk in chunks:
+            del self._allocated[chunk.chunk_id]
+
+    def is_allocated(self, chunk: PhysicalChunk) -> bool:
+        return chunk.chunk_id in self._allocated
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PhysicalMemoryPool(total={self.total_bytes}, "
+            f"allocated={self.allocated_bytes}, chunk={self.chunk_bytes})"
+        )

@@ -1,0 +1,41 @@
+"""LLM model specifications and memory accounting.
+
+Provides :class:`ModelSpec` (layers, hidden size, attention geometry, dtype)
+plus the derived quantities the serving system needs: parameter bytes per
+layer, KV-cache bytes per token, FLOPs per token, and a catalog of the
+models evaluated in the paper (Table 1).
+"""
+
+from repro.models.spec import AttentionKind, ModelSpec, ParallelismConfig
+from repro.models.memory import (
+    kv_bytes_per_token,
+    param_bytes,
+    param_bytes_per_layer,
+    kv_bytes_for_tokens,
+)
+from repro.models.catalog import (
+    MODEL_CATALOG,
+    DEEPSEEK_V3_671B,
+    LLAMA_3_1_405B,
+    QWEN_2_5_14B,
+    QWEN_2_5_72B,
+    QWEN_3_235B,
+    get_model,
+)
+
+__all__ = [
+    "AttentionKind",
+    "ModelSpec",
+    "ParallelismConfig",
+    "kv_bytes_per_token",
+    "kv_bytes_for_tokens",
+    "param_bytes",
+    "param_bytes_per_layer",
+    "MODEL_CATALOG",
+    "QWEN_2_5_14B",
+    "QWEN_2_5_72B",
+    "LLAMA_3_1_405B",
+    "QWEN_3_235B",
+    "DEEPSEEK_V3_671B",
+    "get_model",
+]

@@ -1,0 +1,133 @@
+"""Catalog of the models evaluated in the paper (Table 1).
+
+Parameter-memory sizes are pinned to the values Table 1 reports (measured
+sizes, not naive ``params * 2`` estimates) so the Table 1 reproduction and
+all capacity computations match the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.models.spec import AttentionKind, ModelSpec, ParallelismConfig
+
+GB = 1024 ** 3
+
+QWEN_2_5_14B = ModelSpec(
+    name="Qwen-2.5-14B",
+    num_layers=48,
+    hidden_size=5120,
+    num_heads=40,
+    num_kv_heads=8,
+    head_dim=128,
+    intermediate_size=13824,
+    vocab_size=152064,
+    dtype_bytes=2,
+    attention=AttentionKind.GQA,
+    total_params=14.7e9,
+    param_bytes_override=28 * 10 ** 9,
+    default_parallelism=ParallelismConfig(tensor_parallel=1),
+)
+
+QWEN_2_5_72B = ModelSpec(
+    name="Qwen-2.5-72B",
+    num_layers=80,
+    hidden_size=8192,
+    num_heads=64,
+    num_kv_heads=8,
+    head_dim=128,
+    intermediate_size=29568,
+    vocab_size=152064,
+    dtype_bytes=2,
+    attention=AttentionKind.GQA,
+    total_params=72.7e9,
+    param_bytes_override=136 * 10 ** 9,
+    default_parallelism=ParallelismConfig(tensor_parallel=4),
+)
+
+LLAMA_3_1_405B = ModelSpec(
+    name="Llama-3.1-405B",
+    num_layers=126,
+    hidden_size=16384,
+    num_heads=128,
+    num_kv_heads=8,
+    head_dim=128,
+    intermediate_size=53248,
+    vocab_size=128256,
+    dtype_bytes=2,
+    attention=AttentionKind.GQA,
+    total_params=405e9,
+    param_bytes_override=756 * 10 ** 9,
+    default_parallelism=ParallelismConfig(tensor_parallel=16),
+)
+
+QWEN_3_235B = ModelSpec(
+    name="Qwen-3-235B",
+    num_layers=94,
+    hidden_size=4096,
+    num_heads=64,
+    num_kv_heads=4,
+    head_dim=128,
+    intermediate_size=1536,
+    vocab_size=151936,
+    dtype_bytes=2,
+    attention=AttentionKind.GQA,
+    total_params=235e9,
+    param_bytes_override=479 * 10 ** 9,
+    moe_num_experts=128,
+    moe_active_experts=8,
+    default_parallelism=ParallelismConfig(tensor_parallel=1, expert_parallel=8),
+)
+
+DEEPSEEK_V3_671B = ModelSpec(
+    name="DeepSeek-V3-671B",
+    num_layers=61,
+    hidden_size=7168,
+    num_heads=128,
+    num_kv_heads=128,
+    head_dim=128,
+    intermediate_size=2048,
+    vocab_size=129280,
+    dtype_bytes=2,
+    attention=AttentionKind.MLA,
+    mla_latent_dim=576,
+    total_params=671e9,
+    param_bytes_override=1572 * 10 ** 9,
+    moe_num_experts=256,
+    moe_active_experts=8,
+    default_parallelism=ParallelismConfig(tensor_parallel=1, expert_parallel=32),
+)
+
+#: All catalogued models keyed by name.
+MODEL_CATALOG: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        QWEN_2_5_14B,
+        QWEN_2_5_72B,
+        LLAMA_3_1_405B,
+        QWEN_3_235B,
+        DEEPSEEK_V3_671B,
+    )
+}
+
+#: GPUs per serving instance used in Table 1, keyed by model name.
+TABLE1_GPUS_PER_INSTANCE: Dict[str, int] = {
+    "Qwen-2.5-14B": 1,
+    "Qwen-2.5-72B": 4,
+    "Llama-3.1-405B": 16,
+    "Qwen-3-235B": 8,
+    "DeepSeek-V3-671B": 32,
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a catalogued model by name.
+
+    Raises:
+        KeyError: with the list of known names when the model is unknown.
+    """
+    try:
+        return MODEL_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_CATALOG))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None

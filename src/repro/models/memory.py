@@ -1,0 +1,60 @@
+"""Memory accounting helpers derived from a :class:`ModelSpec`.
+
+These formulas are the ones the paper's Table 1 and §2.2 rely on, e.g.
+Qwen-2.5-14B uses 192 KB of KV cache per token
+(2 (K and V) x 48 layers x 8 KV heads x 128 head dim x 2 bytes).
+"""
+
+from __future__ import annotations
+
+from repro.models.spec import AttentionKind, ModelSpec
+
+
+def param_bytes(spec: ModelSpec) -> int:
+    """Total parameter memory of one model replica in bytes.
+
+    Uses the measured size from the paper when the catalog provides one
+    (``param_bytes_override``); otherwise estimates from the architecture.
+    """
+    if spec.param_bytes_override is not None:
+        return int(spec.param_bytes_override)
+    return int(spec.estimated_params() * spec.dtype_bytes)
+
+
+def param_bytes_per_layer(spec: ModelSpec) -> int:
+    """Parameter bytes of a single decoder layer.
+
+    Embeddings and the LM head are counted with the first and last layer
+    respectively in the serving engine; for drop-plan accounting the paper
+    treats layers as uniform, which we mirror by dividing evenly.
+    """
+    return param_bytes(spec) // spec.num_layers
+
+
+def kv_bytes_per_token(spec: ModelSpec) -> int:
+    """KV-cache bytes stored for one token across all layers."""
+    if spec.attention == AttentionKind.MLA:
+        per_layer = spec.mla_latent_dim * spec.dtype_bytes
+    else:
+        per_layer = 2 * spec.kv_dim * spec.dtype_bytes
+    return per_layer * spec.num_layers
+
+
+def kv_bytes_per_token_per_layer(spec: ModelSpec) -> int:
+    """KV-cache bytes stored for one token in a single layer."""
+    return kv_bytes_per_token(spec) // spec.num_layers
+
+
+def kv_bytes_for_tokens(spec: ModelSpec, num_tokens: int) -> int:
+    """KV-cache bytes for ``num_tokens`` tokens of one request."""
+    if num_tokens < 0:
+        raise ValueError(f"num_tokens must be >= 0, got {num_tokens}")
+    return kv_bytes_per_token(spec) * num_tokens
+
+
+def parameter_memory_ratio(spec: ModelSpec, gpu_hbm_bytes: int, gpus_per_instance: int) -> float:
+    """Fraction of an instance's HBM consumed by parameters (Table 1)."""
+    if gpus_per_instance <= 0:
+        raise ValueError("gpus_per_instance must be positive")
+    total_hbm = gpu_hbm_bytes * gpus_per_instance
+    return param_bytes(spec) / total_hbm

@@ -1,0 +1,46 @@
+"""Memory-overload handling policies.
+
+Each policy configures how the cluster is laid out (data parallel vs. static
+pipeline parallel), how the per-group scheduler reacts to a full KV cache
+(recompute vs. swap), and what cluster-level action the monitor triggers
+(nothing, migration, or KunServe's parameter drop).
+
+The baselines mirror the systems the paper compares against:
+
+* :class:`VLLMPolicy` — vLLM with recompute-on-preemption, optionally in a
+  static pipeline-parallel deployment (``vLLM (PP)``);
+* :class:`InferCeptPolicy` — optimised KV swapping to host DRAM;
+* :class:`LlumnixPolicy` — load-balanced dispatching plus KV migration;
+* :class:`KunServePolicy` — the paper's parameter-centric approach.
+"""
+
+from repro.policies.base import OverloadPolicy
+from repro.policies.recompute import VLLMPolicy
+from repro.policies.swap import InferCeptPolicy
+from repro.policies.migrate import LlumnixPolicy
+from repro.policies.kunserve_policy import KunServePolicy
+
+__all__ = [
+    "OverloadPolicy",
+    "VLLMPolicy",
+    "InferCeptPolicy",
+    "LlumnixPolicy",
+    "KunServePolicy",
+]
+
+
+def make_policy(name: str, **kwargs) -> OverloadPolicy:
+    """Construct a policy by name (used by experiment configuration)."""
+    registry = {
+        "vllm": VLLMPolicy,
+        "vllm-dp": VLLMPolicy,
+        "vllm-pp": lambda **kw: VLLMPolicy(pp_degree=kw.pop("pp_degree", 2), **kw),
+        "infercept": InferCeptPolicy,
+        "llumnix": LlumnixPolicy,
+        "kunserve": KunServePolicy,
+    }
+    key = name.lower()
+    if key not in registry:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown policy {name!r}; known policies: {known}")
+    return registry[key](**kwargs)

@@ -1,0 +1,63 @@
+"""KunServe as a pluggable overload policy.
+
+Wraps :class:`repro.core.kunserve.KunServeController` behind the policy
+interface the cluster serving system expects.  The ablation variants of
+Figure 14 are expressed through :class:`~repro.core.kunserve.KunServeConfig`
+flags: ``+Dynamic drop`` disables coordination and lookahead, ``+Coordinated
+ex.`` re-enables coordination, ``+Lookahead`` enables both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.kunserve import KunServeConfig, KunServeController
+from repro.engine.scheduler import PreemptionMode, SchedulerConfig
+from repro.policies.base import OverloadPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.system import ClusterServingSystem
+
+
+class KunServePolicy(OverloadPolicy):
+    """Parameter-centric memory management (the paper's system)."""
+
+    name = "KunServe"
+
+    def __init__(self, config: Optional[KunServeConfig] = None, *, label: Optional[str] = None) -> None:
+        self.config = config if config is not None else KunServeConfig()
+        self.controller = KunServeController(self.config)
+        if label is not None:
+            self.name = label
+
+    def scheduler_config(self, base: SchedulerConfig) -> SchedulerConfig:
+        # KunServe keeps vLLM's recompute preemption as the last-resort
+        # fallback when no drop plan is feasible.
+        return SchedulerConfig(
+            token_budget=base.token_budget,
+            max_running_requests=base.max_running_requests,
+            preemption_mode=PreemptionMode.RECOMPUTE,
+            swap_in_watermark=base.swap_in_watermark,
+        )
+
+    def attach(self, system: "ClusterServingSystem") -> None:
+        self.controller.attach(system)
+
+    def on_monitor_tick(
+        self,
+        system: "ClusterServingSystem",
+        snapshots: List[Dict[str, float]],
+        now: float,
+    ) -> None:
+        self.controller.on_monitor_tick(snapshots, now)
+
+    # Convenience accessors used by experiments / tests ------------------
+    @property
+    def drop_reports(self):
+        return self.controller.drop_reports
+
+    @property
+    def restore_reports(self):
+        if self.controller.restore_manager is None:
+            return []
+        return self.controller.restore_manager.reports

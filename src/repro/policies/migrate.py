@@ -1,0 +1,103 @@
+"""Llumnix baseline: load-balanced dispatching plus KV-cache migration.
+
+Llumnix spreads load at dispatch time and, when an instance still becomes
+memory-overloaded, live-migrates requests (and their KV caches) to less
+loaded instances to defragment free memory.  Migration helps when *some*
+instance has room; under a cluster-wide burst there is nowhere to migrate
+to and queued requests still stall (§2.3, Figure 2e).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.policies.base import OverloadPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.system import ClusterServingSystem
+
+
+class LlumnixPolicy(OverloadPolicy):
+    """Data-parallel deployment with migration-based overload handling."""
+
+    name = "Llumnix"
+
+    def __init__(
+        self,
+        *,
+        migrate_out_threshold: float = 0.90,
+        migrate_in_threshold: float = 0.75,
+        max_migrations_per_tick: int = 4,
+    ) -> None:
+        if not 0 < migrate_in_threshold <= migrate_out_threshold:
+            raise ValueError("thresholds must satisfy 0 < in <= out")
+        self.migrate_out_threshold = migrate_out_threshold
+        self.migrate_in_threshold = migrate_in_threshold
+        self.max_migrations_per_tick = max_migrations_per_tick
+        self.migrations_performed = 0
+
+    def on_monitor_tick(
+        self,
+        system: "ClusterServingSystem",
+        snapshots: List[Dict[str, float]],
+        now: float,
+    ) -> None:
+        by_group: Dict[int, Dict[str, float]] = {int(s["group_id"]): s for s in snapshots}
+        groups = {g.group_id: g for g in system.groups if g.active}
+
+        def load_of(group_id: int) -> float:
+            snapshot = by_group.get(group_id)
+            if snapshot is None or snapshot["kv_capacity_bytes"] <= 0:
+                return 1.0
+            return snapshot["kv_demand_bytes"] / snapshot["kv_capacity_bytes"]
+
+        overloaded = [g for gid, g in groups.items() if load_of(gid) > self.migrate_out_threshold]
+        if not overloaded:
+            return
+        migrations_left = self.max_migrations_per_tick
+        for source in sorted(overloaded, key=lambda g: load_of(g.group_id), reverse=True):
+            if migrations_left <= 0:
+                break
+            # Migrate the most recently arrived running requests first; they
+            # have the least progress to lose if the move stalls them.
+            victims = sorted(
+                source.scheduler.running,
+                key=lambda r: (r.arrival_time, r.request_id),
+                reverse=True,
+            )
+            for victim in victims:
+                if migrations_left <= 0:
+                    break
+                if victim.finished or victim.is_stalled(now):
+                    continue
+                destination = self._pick_destination(groups, by_group, source, victim)
+                if destination is None:
+                    break
+                if source.migrate_request_to(victim, destination):
+                    migrations_left -= 1
+                    self.migrations_performed += 1
+                    # Update the cached snapshots so subsequent picks in this
+                    # tick see the shifted load.
+                    moved = victim.context_tokens * system.kv_token_bytes
+                    by_group[source.group_id]["kv_demand_bytes"] -= moved
+                    by_group[destination.group_id]["kv_demand_bytes"] += moved
+                if load_of(source.group_id) <= self.migrate_out_threshold:
+                    break
+
+    def _pick_destination(self, groups, snapshots, source, victim):
+        best = None
+        best_load = self.migrate_in_threshold
+        for group_id, group in groups.items():
+            if group is source:
+                continue
+            snapshot = snapshots.get(group_id)
+            if snapshot is None or snapshot["kv_capacity_bytes"] <= 0:
+                continue
+            load = snapshot["kv_demand_bytes"] / snapshot["kv_capacity_bytes"]
+            if load >= best_load:
+                continue
+            if not group.kv.can_allocate(victim.request_id, victim.context_tokens):
+                continue
+            best = group
+            best_load = load
+        return best

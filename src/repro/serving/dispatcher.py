@@ -1,0 +1,54 @@
+"""Global request dispatcher.
+
+Routes each arriving request to a serving group.  The default strategy is
+the Llumnix-style load balancing the paper adopts for *all* evaluated
+systems: pick the group with the lowest memory-demand-to-capacity ratio,
+breaking ties by queue length.  A round-robin strategy is kept for
+controlled experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.group import ServingGroup
+from repro.engine.request import Request
+
+
+class Dispatcher:
+    """Routes requests to serving groups."""
+
+    STRATEGIES = ("least_loaded", "round_robin")
+
+    def __init__(self, strategy: str = "least_loaded") -> None:
+        if strategy not in self.STRATEGIES:
+            raise ValueError(
+                f"unknown dispatch strategy {strategy!r}; choose from {self.STRATEGIES}"
+            )
+        self.strategy = strategy
+        self._round_robin_cursor = 0
+        self.dispatched = 0
+
+    def dispatch(self, request: Request, groups: List[ServingGroup]) -> ServingGroup:
+        """Choose a group for ``request`` and enqueue it there."""
+        active = [g for g in groups if g.active]
+        if not active:
+            raise RuntimeError("no active serving groups to dispatch to")
+        if self.strategy == "round_robin":
+            group = active[self._round_robin_cursor % len(active)]
+            self._round_robin_cursor += 1
+        else:
+            group = self._least_loaded(active)
+        group.enqueue(request)
+        self.dispatched += 1
+        return group
+
+    @staticmethod
+    def _least_loaded(groups: List[ServingGroup]) -> ServingGroup:
+        def load_key(group: ServingGroup):
+            capacity = group.kv_capacity_bytes()
+            demand = group.kv_demand_bytes()
+            ratio = demand / capacity if capacity > 0 else float("inf")
+            return (ratio, group.scheduler.num_waiting, group.group_id)
+
+        return min(groups, key=load_key)

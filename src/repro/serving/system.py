@@ -1,0 +1,237 @@
+"""End-to-end cluster serving system.
+
+Builds the whole stack (cluster, instances, groups, dispatcher, monitor,
+policy) from a :class:`ServingConfig`, replays a workload trace through it,
+and returns the collected metrics.  This is the object every experiment
+module drives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.engine.group import MicrobatchFormer, ServingGroup
+from repro.engine.instance import ServingInstance
+from repro.engine.metrics import MetricsCollector, RequestRecord
+from repro.engine.request import Request
+from repro.engine.scheduler import SchedulerConfig
+from repro.models.memory import kv_bytes_per_token
+from repro.models.spec import ModelSpec
+from repro.policies.base import OverloadPolicy
+from repro.serving.config import ServingConfig
+from repro.serving.dispatcher import Dispatcher
+from repro.serving.monitor import GlobalMonitor
+from repro.simulation.event_loop import EventLoop
+from repro.simulation.rng import SeededRNG
+from repro.workloads.trace import Workload
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of replaying one workload on one system configuration."""
+
+    system_name: str
+    workload_name: str
+    metrics: MetricsCollector
+    records: List[RequestRecord]
+    duration_s: float
+    submitted_requests: int
+    finished_requests: int
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def completion_ratio(self) -> float:
+        if self.submitted_requests == 0:
+            return 1.0
+        return self.finished_requests / self.submitted_requests
+
+
+class ClusterServingSystem:
+    """A cluster of serving instances behind a dispatcher and a monitor."""
+
+    def __init__(self, config: ServingConfig, policy: OverloadPolicy) -> None:
+        self.config = config
+        self.policy = policy
+        self.loop = EventLoop()
+        self.cluster = Cluster(config.cluster, self.loop)
+        self.fabric = self.cluster.fabric
+        self.metrics = MetricsCollector(timeline_window_s=config.timeline_window_s)
+        self.model: ModelSpec = config.model
+        self.kv_token_bytes = kv_bytes_per_token(config.model)
+        self._rng = SeededRNG(config.seed, "system")
+        self._group_counter = itertools.count()
+
+        self.instances: List[ServingInstance] = self._build_instances()
+        self.groups: List[ServingGroup] = []
+        self._build_initial_groups()
+
+        self.dispatcher = Dispatcher()
+        self.monitor = GlobalMonitor(
+            self.loop,
+            self.metrics,
+            group_provider=lambda: self.groups,
+            interval_s=config.monitor_interval_s,
+            callback=self._on_monitor_tick,
+        )
+        self._submitted = 0
+        self._all_requests: List[Request] = []
+        self.policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_instances(self) -> List[ServingInstance]:
+        instances = []
+        for index, gpus in enumerate(self.cluster.gpu_groups(self.config.gpus_per_instance)):
+            instances.append(
+                ServingInstance(
+                    instance_id=index,
+                    model=self.model,
+                    gpus=gpus,
+                    block_size=self.config.block_size,
+                    runtime_reserve_fraction=self.config.runtime_reserve_fraction,
+                    latency_config=self.config.latency_config,
+                    rng=self._rng.child(f"latency-{index}"),
+                )
+            )
+        return instances
+
+    def _build_initial_groups(self) -> None:
+        layout = self.policy.initial_groups(len(self.instances))
+        for member_indices in layout:
+            members = [self.instances[i] for i in member_indices]
+            assignment = self.policy.initial_layer_assignment(
+                member_indices, self.model.num_layers
+            )
+            for instance, layers in zip(members, assignment):
+                instance.load_layers(layers)
+            self.create_group(members, assignment=assignment)
+
+    def _scheduler_config(self) -> SchedulerConfig:
+        base = SchedulerConfig(
+            token_budget=self.config.token_budget,
+            max_running_requests=self.config.max_running_requests,
+        )
+        return self.policy.scheduler_config(base)
+
+    # ------------------------------------------------------------------
+    # Group lifecycle (also used by the KunServe core)
+    # ------------------------------------------------------------------
+    def create_group(
+        self,
+        instances: List[ServingInstance],
+        assignment: Optional[List[List[int]]] = None,
+        microbatch_former: Optional[MicrobatchFormer] = None,
+    ) -> ServingGroup:
+        group = ServingGroup(
+            group_id=next(self._group_counter),
+            instances=instances,
+            model=self.model,
+            loop=self.loop,
+            fabric=self.fabric,
+            metrics=self.metrics,
+            scheduler_config=self._scheduler_config(),
+            assignment=assignment,
+            microbatch_former=microbatch_former,
+            block_size=self.config.block_size,
+        )
+        self.groups.append(group)
+        return group
+
+    def retire_group(self, group: ServingGroup) -> None:
+        group.deactivate()
+        if group in self.groups:
+            self.groups.remove(group)
+
+    @property
+    def active_groups(self) -> List[ServingGroup]:
+        return [g for g in self.groups if g.active]
+
+    # ------------------------------------------------------------------
+    # Request submission
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Dispatch a request right now."""
+        self._submitted += 1
+        self._all_requests.append(request)
+        self.dispatcher.dispatch(request, self.groups)
+
+    def submit_at(self, request: Request, time: float) -> None:
+        """Schedule a request arrival at absolute simulation time ``time``."""
+        self.loop.schedule_at(time, lambda r=request: self.submit(r), name="arrival")
+
+    def schedule_workload(self, workload: Workload) -> List[Request]:
+        """Register every request of a workload as a future arrival."""
+        requests = workload.to_engine_requests()
+        for request in requests:
+            self.submit_at(request, request.arrival_time)
+        return requests
+
+    # ------------------------------------------------------------------
+    # Monitor callback
+    # ------------------------------------------------------------------
+    def _on_monitor_tick(self, snapshots: List[Dict[str, float]], now: float) -> None:
+        self.policy.on_monitor_tick(self, snapshots, now)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: Workload,
+        *,
+        until: Optional[float] = None,
+        drain: bool = True,
+    ) -> SimulationResult:
+        """Replay ``workload`` and return the collected metrics.
+
+        Args:
+            workload: the requests to serve.
+            until: optional hard stop (simulation seconds); defaults to the
+                workload duration plus the drain timeout.
+            drain: when True, keep simulating after the last arrival until
+                every request finished or the drain timeout expires.
+        """
+        requests = self.schedule_workload(workload)
+        self.monitor.start()
+        horizon = until
+        if horizon is None:
+            horizon = workload.duration + (self.config.drain_timeout_s if drain else 0.0)
+        self.loop.run(until=horizon)
+        self.monitor.stop()
+        self._finalize_unfinished()
+        summary = self.metrics.summary()
+        result = SimulationResult(
+            system_name=self.policy.name,
+            workload_name=workload.name,
+            metrics=self.metrics,
+            records=list(self.metrics.records),
+            duration_s=self.loop.now,
+            submitted_requests=len(requests),
+            finished_requests=self.metrics.finished_count(),
+            summary=summary,
+        )
+        return result
+
+    def _finalize_unfinished(self) -> None:
+        """Record requests that never finished so they count in the metrics."""
+        recorded_ids = {record.request_id for record in self.metrics.records}
+        for request in self._all_requests:
+            if request.request_id not in recorded_ids:
+                self.metrics.record_request(request)
+
+
+def run_workload(
+    workload: Workload,
+    policy: OverloadPolicy,
+    config: Optional[ServingConfig] = None,
+    **run_kwargs,
+) -> SimulationResult:
+    """One-call helper: build a system, replay a workload, return results."""
+    if config is None:
+        config = ServingConfig()
+    system = ClusterServingSystem(config, policy)
+    return system.run(workload, **run_kwargs)

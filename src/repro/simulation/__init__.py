@@ -1,0 +1,15 @@
+"""Discrete-event simulation engine.
+
+The serving cluster is simulated at iteration granularity: each serving
+group repeatedly executes one batched model iteration, whose duration is
+computed by an analytical latency model.  The :class:`EventLoop` provides
+the ordered execution of those iteration-completion events, request
+arrivals, network-transfer completions and monitor ticks.
+"""
+
+from repro.simulation.clock import Clock
+from repro.simulation.event_loop import Event, EventLoop
+from repro.simulation.process import PeriodicProcess
+from repro.simulation.rng import SeededRNG
+
+__all__ = ["Clock", "Event", "EventLoop", "PeriodicProcess", "SeededRNG"]

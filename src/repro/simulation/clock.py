@@ -1,0 +1,45 @@
+"""Simulation clock.
+
+The clock is a tiny mutable holder of the current simulation time.  It is
+owned by the :class:`~repro.simulation.event_loop.EventLoop` and shared (by
+reference) with every component that needs to timestamp events, so that all
+components observe a single consistent notion of "now".
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonic simulation clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises:
+            ValueError: if ``timestamp`` is earlier than the current time.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now:.6f}, "
+                f"requested={timestamp:.6f}"
+            )
+        self._now = float(timestamp)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock, e.g. between independent simulation runs."""
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.6f})"

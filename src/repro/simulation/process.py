@@ -1,0 +1,71 @@
+"""Periodic simulated processes.
+
+The global monitor (overload detection) and timeline metric samplers are
+periodic activities; :class:`PeriodicProcess` wraps the rescheduling
+boilerplate so those components can just supply a ``tick`` callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulation.event_loop import Event, EventLoop
+
+
+class PeriodicProcess:
+    """Runs a callback every ``interval`` seconds of simulation time."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        interval: float,
+        callback: Callable[[float], None],
+        *,
+        name: str = "periodic",
+        priority: int = 0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._loop = loop
+        self._interval = float(interval)
+        self._callback = callback
+        self._name = name
+        self._priority = priority
+        self._event: Optional[Event] = None
+        self._stopped = True
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin ticking.  The first tick fires after ``initial_delay``
+        (defaults to one full interval)."""
+        if not self._stopped:
+            return
+        self._stopped = False
+        delay = self._interval if initial_delay is None else float(initial_delay)
+        self._event = self._loop.schedule(
+            delay, self._tick, priority=self._priority, name=self._name
+        )
+
+    def stop(self) -> None:
+        """Stop ticking; a pending tick is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._callback(self._loop.now)
+        if self._stopped:
+            return
+        self._event = self._loop.schedule(
+            self._interval, self._tick, priority=self._priority, name=self._name
+        )

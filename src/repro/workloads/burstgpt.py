@@ -1,0 +1,138 @@
+"""Synthetic BurstGPT-like arrival traces.
+
+The real BurstGPT trace is not redistributable, so this module generates
+arrival processes with the same character the paper describes (§2.2 and
+Figure 2a): a base request rate with sudden, unpredictable spikes where the
+incoming rate roughly doubles, sustained for tens of seconds.  The long-run
+variant (Figure 16) has multiple burst waves over 640 s; the extreme-burst
+variant (Figure 17) replays the burst back-to-back until every system runs
+out of memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.rng import SeededRNG
+from repro.workloads.trace import ArrivalTrace
+
+
+@dataclass(frozen=True)
+class BurstSpec:
+    """One burst window: the rate multiplies by ``factor`` during it."""
+
+    start_s: float
+    duration_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+    def active(self, time: float) -> bool:
+        return self.start_s <= time < self.start_s + self.duration_s
+
+
+def _piecewise_rate(time: float, base_rate: float, bursts: Sequence[BurstSpec]) -> float:
+    rate = base_rate
+    for burst in bursts:
+        if burst.active(time):
+            rate = base_rate * burst.factor
+    return rate
+
+
+def _nonhomogeneous_poisson(
+    duration_s: float,
+    base_rate: float,
+    bursts: Sequence[BurstSpec],
+    rng: SeededRNG,
+) -> List[float]:
+    """Thinning sampler for a piecewise-constant-rate Poisson process."""
+    max_rate = base_rate * max([b.factor for b in bursts], default=1.0)
+    max_rate = max(max_rate, base_rate)
+    timestamps: List[float] = []
+    time = 0.0
+    while time < duration_s:
+        time += float(rng.exponential(1.0 / max_rate))
+        if time >= duration_s:
+            break
+        accept_probability = _piecewise_rate(time, base_rate, bursts) / max_rate
+        if float(rng.uniform()) <= accept_probability:
+            timestamps.append(time)
+    return timestamps
+
+
+def burstgpt_arrival_trace(
+    *,
+    duration_s: float = 130.0,
+    base_rate: float = 4.0,
+    burst_factor: float = 2.2,
+    burst_start_s: Optional[float] = None,
+    burst_duration_s: Optional[float] = None,
+    seed: int = 42,
+    name: str = "burstgpt",
+) -> ArrivalTrace:
+    """A single-burst trace shaped like Figure 2(a).
+
+    The incoming rate sits at ``base_rate`` and roughly doubles (default
+    2.2x) partway through the window, "with no clear pattern" — here the
+    burst begins at ~35 % of the duration unless given explicitly.
+    """
+    if burst_start_s is None:
+        burst_start_s = 0.35 * duration_s
+    if burst_duration_s is None:
+        burst_duration_s = 0.35 * duration_s
+    rng = SeededRNG(seed, f"{name}-arrivals")
+    bursts = [BurstSpec(start_s=burst_start_s, duration_s=burst_duration_s, factor=burst_factor)]
+    timestamps = _nonhomogeneous_poisson(duration_s, base_rate, bursts, rng)
+    return ArrivalTrace(timestamps=timestamps, name=name)
+
+
+def long_run_arrival_trace(
+    *,
+    duration_s: float = 640.0,
+    base_rate: float = 4.0,
+    burst_factor: float = 2.2,
+    num_waves: int = 2,
+    wave_duration_s: float = 60.0,
+    seed: int = 42,
+    name: str = "burstgpt-long",
+) -> ArrivalTrace:
+    """The 640 s multi-wave trace used by the dynamic-restoration study."""
+    if num_waves <= 0:
+        raise ValueError("num_waves must be positive")
+    bursts: List[BurstSpec] = []
+    for wave in range(num_waves):
+        start = duration_s * (wave + 0.5) / (num_waves + 0.5)
+        bursts.append(BurstSpec(start_s=start, duration_s=wave_duration_s, factor=burst_factor))
+    rng = SeededRNG(seed, f"{name}-arrivals")
+    timestamps = _nonhomogeneous_poisson(duration_s, base_rate, bursts, rng)
+    return ArrivalTrace(timestamps=timestamps, name=name)
+
+
+def extreme_burst_trace(
+    *,
+    duration_s: float = 170.0,
+    base_rate: float = 2.0,
+    burst_factor: float = 2.5,
+    burst_start_s: float = 60.0,
+    seed: int = 42,
+    name: str = "burstgpt-extreme",
+) -> ArrivalTrace:
+    """Replay-and-rescale trace of §5.6: once the first burst hits, it never
+    stops, so every system eventually exhausts memory."""
+    bursts = [
+        BurstSpec(
+            start_s=burst_start_s,
+            duration_s=duration_s - burst_start_s,
+            factor=burst_factor,
+        )
+    ]
+    rng = SeededRNG(seed, f"{name}-arrivals")
+    timestamps = _nonhomogeneous_poisson(duration_s, base_rate, bursts, rng)
+    return ArrivalTrace(timestamps=timestamps, name=name)

@@ -1,0 +1,108 @@
+"""SLO-attainment accounting (Figure 13, last column).
+
+The paper defines the SLO for scale factor ``N`` as ``N`` times the P50
+latency of the *best baseline*, separately for TTFT and TPOT, and counts a
+request as violating when either metric exceeds its SLO.  Chat workloads
+use a tight factor of 5; document summarisation a looser factor of 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.engine.metrics import RequestRecord, percentile
+
+#: Typical SLO scale factors marked in the paper's plots.
+CHAT_SLO_SCALE = 5.0
+SUMMARY_SLO_SCALE = 10.0
+
+
+@dataclass
+class SLOResult:
+    """SLO violation ratio of one system at one scale factor."""
+
+    system: str
+    scale: float
+    ttft_slo_s: float
+    tpot_slo_s: float
+    violations: int
+    total: int
+
+    @property
+    def violation_ratio(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.violations / self.total
+
+
+def _baseline_p50(records_by_system: Dict[str, Sequence[RequestRecord]]) -> tuple:
+    """P50 TTFT / TPOT of the best system (the SLO reference point)."""
+    best_ttft = float("inf")
+    best_tpot = float("inf")
+    for records in records_by_system.values():
+        ttfts = [r.ttft for r in records if r.ttft is not None]
+        tpots = [r.mean_tpot for r in records if r.mean_tpot is not None]
+        if ttfts:
+            best_ttft = min(best_ttft, percentile(ttfts, 50))
+        if tpots:
+            best_tpot = min(best_tpot, percentile(tpots, 50))
+    if best_ttft == float("inf"):
+        best_ttft = 0.0
+    if best_tpot == float("inf"):
+        best_tpot = 0.0
+    return best_ttft, best_tpot
+
+
+def slo_violation_ratio(
+    records: Sequence[RequestRecord],
+    *,
+    ttft_slo_s: float,
+    tpot_slo_s: float,
+) -> float:
+    """Fraction of requests violating either the TTFT or the TPOT SLO."""
+    if not records:
+        return 0.0
+    violations = 0
+    for record in records:
+        ttft_bad = record.ttft is None or record.ttft > ttft_slo_s
+        tpot_bad = record.mean_tpot is not None and record.mean_tpot > tpot_slo_s
+        if ttft_bad or tpot_bad:
+            violations += 1
+    return violations / len(records)
+
+
+def slo_violation_curve(
+    records_by_system: Dict[str, Sequence[RequestRecord]],
+    scales: Sequence[float] = (2, 4, 6, 8, 10),
+) -> List[SLOResult]:
+    """Violation ratio of every system at every scale factor.
+
+    The SLO reference (P50 of the best system) is computed across all the
+    given systems, exactly as the paper does.
+    """
+    base_ttft, base_tpot = _baseline_p50(records_by_system)
+    results: List[SLOResult] = []
+    for system, records in records_by_system.items():
+        for scale in scales:
+            ttft_slo = scale * base_ttft
+            tpot_slo = scale * base_tpot
+            violations = 0
+            for record in records:
+                ttft_bad = record.ttft is None or (ttft_slo > 0 and record.ttft > ttft_slo)
+                tpot_bad = (
+                    record.mean_tpot is not None and tpot_slo > 0 and record.mean_tpot > tpot_slo
+                )
+                if ttft_bad or tpot_bad:
+                    violations += 1
+            results.append(
+                SLOResult(
+                    system=system,
+                    scale=float(scale),
+                    ttft_slo_s=ttft_slo,
+                    tpot_slo_s=tpot_slo,
+                    violations=violations,
+                    total=len(records),
+                )
+            )
+    return results

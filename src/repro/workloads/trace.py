@@ -1,0 +1,164 @@
+"""Arrival traces and workloads.
+
+An :class:`ArrivalTrace` is just a sorted list of arrival timestamps; a
+:class:`Workload` combines the trace with per-request prompt/output lengths
+(from a dataset sampler) and can materialise engine
+:class:`~repro.engine.request.Request` objects for the serving system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.engine.request import Request
+
+
+@dataclass
+class ArrivalTrace:
+    """A sequence of request arrival times (seconds, sorted ascending)."""
+
+    timestamps: List[float] = field(default_factory=list)
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        self.timestamps = sorted(float(t) for t in self.timestamps)
+        if any(t < 0 for t in self.timestamps):
+            raise ValueError("arrival times must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def duration(self) -> float:
+        return self.timestamps[-1] if self.timestamps else 0.0
+
+    @property
+    def average_rate(self) -> float:
+        """Mean requests/second over the trace duration."""
+        if not self.timestamps or self.duration == 0:
+            return 0.0
+        return len(self.timestamps) / self.duration
+
+    def rate_timeline(self, window_s: float = 5.0) -> List[tuple]:
+        """Requests-per-second samples bucketed by ``window_s`` (Figure 2a)."""
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if not self.timestamps:
+            return []
+        buckets: dict = {}
+        for t in self.timestamps:
+            buckets[int(t // window_s)] = buckets.get(int(t // window_s), 0) + 1
+        return [
+            (bucket * window_s, count / window_s) for bucket, count in sorted(buckets.items())
+        ]
+
+    def clipped(self, max_time: float) -> "ArrivalTrace":
+        """A copy containing only arrivals before ``max_time``."""
+        return ArrivalTrace(
+            timestamps=[t for t in self.timestamps if t <= max_time],
+            name=self.name,
+        )
+
+
+@dataclass
+class TracedRequest:
+    """One request of a workload: when it arrives and how long it is."""
+
+    arrival_time: float
+    prompt_tokens: int
+    output_tokens: int
+    slo_class: str = "chat"
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens <= 0 or self.output_tokens <= 0:
+            raise ValueError("prompt and output token counts must be positive")
+
+
+@dataclass
+class Workload:
+    """A named, fully-specified stream of requests."""
+
+    name: str
+    requests: List[TracedRequest] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.requests = sorted(self.requests, key=lambda r: r.arrival_time)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def duration(self) -> float:
+        return self.requests[-1].arrival_time if self.requests else 0.0
+
+    @property
+    def total_prompt_tokens(self) -> int:
+        return sum(r.prompt_tokens for r in self.requests)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(r.output_tokens for r in self.requests)
+
+    @property
+    def mean_prompt_tokens(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.total_prompt_tokens / len(self.requests)
+
+    @property
+    def mean_output_tokens(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.total_output_tokens / len(self.requests)
+
+    def arrival_trace(self) -> ArrivalTrace:
+        return ArrivalTrace(
+            timestamps=[r.arrival_time for r in self.requests], name=self.name
+        )
+
+    def to_engine_requests(self) -> List[Request]:
+        """Materialise engine requests (fresh objects, safe to simulate)."""
+        return [
+            Request(
+                arrival_time=r.arrival_time,
+                prompt_tokens=r.prompt_tokens,
+                max_output_tokens=r.output_tokens,
+                slo_class=r.slo_class,
+            )
+            for r in self.requests
+        ]
+
+    def kv_token_demand_timeline(
+        self, mean_stay_s: float = 11.0, window_s: float = 5.0
+    ) -> List[tuple]:
+        """Rough KV-token demand over time assuming a mean residency.
+
+        Used only for workload characterisation plots; the real demand comes
+        out of the simulation itself.
+        """
+        events: List[tuple] = []
+        for request in self.requests:
+            tokens = request.prompt_tokens + request.output_tokens
+            events.append((request.arrival_time, tokens))
+            events.append((request.arrival_time + mean_stay_s, -tokens))
+        events.sort()
+        timeline = []
+        level = 0
+        next_sample = 0.0
+        for time, delta in events:
+            while next_sample <= time:
+                timeline.append((next_sample, level))
+                next_sample += window_s
+            level += delta
+        return timeline
+
+
+def merge_workloads(workloads: Sequence[Workload], name: str = "merged") -> Workload:
+    """Interleave several workloads into one (used for mixed experiments)."""
+    requests: List[TracedRequest] = []
+    for workload in workloads:
+        requests.extend(workload.requests)
+    return Workload(name=name, requests=requests)

@@ -1,0 +1,160 @@
+"""Tests for the cluster hardware substrate (GPUs, servers, network)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.gpu import GPUSpec
+from repro.cluster.network import NetworkFabric, TransferPriority
+from repro.cluster.specs import A800_80GB, H800_80GB, cluster_a_spec, cluster_b_spec
+from repro.simulation.event_loop import EventLoop
+
+
+class TestGPUSpec:
+    def test_a800_capacity(self):
+        assert A800_80GB.hbm_bytes == 80 * 1024 ** 3
+        assert A800_80GB.nvlink_bandwidth == 0.0
+
+    def test_h800_has_nvlink(self):
+        assert H800_80GB.nvlink_bandwidth > 0
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec(name="bad", hbm_bytes=0, fp16_tflops=1.0, hbm_bandwidth=1.0)
+
+    def test_flops_conversion(self):
+        assert A800_80GB.flops == pytest.approx(312e12)
+
+
+class TestClusterTopology:
+    def test_cluster_a_shape(self):
+        cluster = Cluster(cluster_a_spec(8))
+        assert cluster.num_gpus == 8
+        assert len(cluster.servers) == 8
+        assert all(s.num_gpus == 1 for s in cluster.servers)
+
+    def test_cluster_b_shape(self):
+        cluster = Cluster(cluster_b_spec(2))
+        assert cluster.num_gpus == 16
+        assert len(cluster.servers) == 2
+
+    def test_gpu_groups_single(self):
+        cluster = Cluster(cluster_a_spec(4))
+        groups = cluster.gpu_groups(1)
+        assert len(groups) == 4
+        assert all(len(g) == 1 for g in groups)
+
+    def test_gpu_groups_tp4_stay_in_server(self):
+        cluster = Cluster(cluster_b_spec(2))
+        groups = cluster.gpu_groups(4)
+        assert len(groups) == 4
+        for group in groups:
+            assert len({gpu.server_id for gpu in group}) == 1
+
+    def test_gpu_groups_spanning_servers(self):
+        cluster = Cluster(cluster_b_spec(2))
+        groups = cluster.gpu_groups(16)
+        assert len(groups) == 1
+        assert len(groups[0]) == 16
+
+    def test_fabric_nodes_registered(self):
+        cluster = Cluster(cluster_a_spec(2))
+        assert cluster.fabric.has_node(Cluster.nic_node(0))
+        assert cluster.fabric.has_node(Cluster.host_node(1))
+
+    def test_server_of_gpu(self):
+        cluster = Cluster(cluster_b_spec(2))
+        assert cluster.server_of_gpu(9).server_id == 1
+        with pytest.raises(KeyError):
+            cluster.server_of_gpu(999)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(
+                name="bad",
+                gpu_spec=A800_80GB,
+                num_servers=0,
+                gpus_per_server=1,
+                nic_bandwidth=1.0,
+                pcie_bandwidth=1.0,
+            )
+
+
+class TestNetworkFabric:
+    def _fabric(self):
+        loop = EventLoop()
+        fabric = NetworkFabric(loop)
+        fabric.add_node("a", 100.0)
+        fabric.add_node("b", 100.0)
+        fabric.add_node("c", 50.0)
+        return loop, fabric
+
+    def test_single_transfer_duration(self):
+        loop, fabric = self._fabric()
+        done = []
+        fabric.submit("a", "b", 1000.0, on_complete=lambda t: done.append(loop.now))
+        loop.run()
+        assert done == [pytest.approx(10.0)]
+
+    def test_transfer_limited_by_slower_endpoint(self):
+        loop, fabric = self._fabric()
+        done = []
+        fabric.submit("a", "c", 1000.0, on_complete=lambda t: done.append(loop.now))
+        loop.run()
+        assert done == [pytest.approx(20.0)]
+
+    def test_bulk_transfers_share_bandwidth(self):
+        loop, fabric = self._fabric()
+        done = []
+        fabric.submit("a", "b", 1000.0, on_complete=lambda t: done.append(("x", loop.now)))
+        fabric.submit("a", "b", 1000.0, on_complete=lambda t: done.append(("y", loop.now)))
+        loop.run()
+        # Two equal transfers sharing a 100 B/s node finish together at ~20 s.
+        assert all(t == pytest.approx(20.0, rel=0.01) for _, t in done)
+
+    def test_activation_priority_preempts_bulk(self):
+        loop, fabric = self._fabric()
+        finish = {}
+        fabric.submit("a", "b", 1000.0, priority=TransferPriority.BULK,
+                      on_complete=lambda t: finish.setdefault("bulk", loop.now))
+        fabric.submit("a", "b", 100.0, priority=TransferPriority.ACTIVATION,
+                      on_complete=lambda t: finish.setdefault("act", loop.now))
+        loop.run()
+        assert finish["act"] < finish["bulk"]
+        # Activation is barely slowed down (gets ~full bandwidth).
+        assert finish["act"] == pytest.approx(1.0, rel=0.3)
+
+    def test_zero_byte_transfer_completes(self):
+        loop, fabric = self._fabric()
+        done = []
+        fabric.submit("a", "b", 0.0, on_complete=lambda t: done.append(loop.now))
+        loop.run()
+        assert done == [0.0]
+
+    def test_cancel_prevents_completion(self):
+        loop, fabric = self._fabric()
+        done = []
+        transfer = fabric.submit("a", "b", 1000.0, on_complete=lambda t: done.append(1))
+        fabric.cancel(transfer)
+        loop.run()
+        assert done == []
+
+    def test_unknown_node_rejected(self):
+        loop, fabric = self._fabric()
+        with pytest.raises(KeyError):
+            fabric.submit("a", "nope", 10.0)
+
+    def test_estimate_transfer_time(self):
+        _, fabric = self._fabric()
+        assert fabric.estimate_transfer_time("a", "c", 500.0) == pytest.approx(10.0)
+
+    def test_conservation_of_bytes(self):
+        loop, fabric = self._fabric()
+        sizes = [100.0, 400.0, 900.0]
+        for size in sizes:
+            fabric.submit("a", "b", size)
+        loop.run()
+        assert len(fabric.completed_transfers) == 3
+        assert sorted(t.size_bytes for t in fabric.completed_transfers) == sorted(sizes)
+        assert all(t.remaining_bytes == 0 for t in fabric.completed_transfers)

@@ -1,0 +1,262 @@
+"""Tests for the KunServe core: drop plans, cost model, lookahead, exchange."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost_model import (
+    BatchCostModel,
+    CostModelParams,
+    NoAttentionCostModel,
+    fit_cost_model,
+    fit_from_latency_model,
+    generate_profiling_samples,
+    mean_relative_error,
+)
+from repro.core.drop_plan import (
+    DropPlan,
+    PlanGroup,
+    balanced_layer_assignment,
+    generate_drop_plan,
+    plan_freed_bytes_by_group,
+)
+from repro.core.lookahead import lookahead_microbatches, make_lookahead_former
+from repro.engine.batch import ScheduledChunk
+from repro.engine.request import Request
+from repro.models.memory import param_bytes
+from repro.models.catalog import QWEN_2_5_14B
+
+PARAM_BYTES = param_bytes(QWEN_2_5_14B)
+
+
+def plan_groups(count, instances_each=1):
+    return [PlanGroup(group_ids=(i,), num_instances=instances_each) for i in range(count)]
+
+
+class TestDropPlan:
+    def test_no_requirement_no_merge(self):
+        plan = generate_drop_plan(plan_groups(4), 0, PARAM_BYTES)
+        assert plan.feasible
+        assert plan.num_merges == 0
+        assert len(plan.final_groups) == 4
+
+    def test_single_merge_frees_one_replica(self):
+        plan = generate_drop_plan(plan_groups(4), PARAM_BYTES // 2, PARAM_BYTES)
+        assert plan.feasible
+        assert plan.num_merges == 1
+        assert plan.freed_bytes == PARAM_BYTES
+        assert len(plan.merged_groups) == 1
+        assert len(plan.merged_groups[0]) == 2
+
+    def test_requirement_spanning_two_merges(self):
+        plan = generate_drop_plan(plan_groups(4), int(1.5 * PARAM_BYTES), PARAM_BYTES)
+        assert plan.feasible
+        assert plan.num_merges == 2
+        assert plan.freed_bytes == 2 * PARAM_BYTES
+
+    def test_merges_smallest_groups_first(self):
+        groups = [
+            PlanGroup(group_ids=(0,), num_instances=3),
+            PlanGroup(group_ids=(1,), num_instances=1),
+            PlanGroup(group_ids=(2,), num_instances=1),
+        ]
+        plan = generate_drop_plan(groups, 1, PARAM_BYTES)
+        merged = plan.merged_groups[0]
+        assert set(merged) == {1, 2}
+
+    def test_infeasible_when_single_group_left(self):
+        plan = generate_drop_plan(plan_groups(2), 10 * PARAM_BYTES, PARAM_BYTES)
+        assert not plan.feasible
+        assert plan.num_merges == 1  # merged everything it could
+
+    def test_freed_bytes_by_group(self):
+        plan = generate_drop_plan(plan_groups(4), PARAM_BYTES, PARAM_BYTES)
+        freed = plan_freed_bytes_by_group(plan, PARAM_BYTES)
+        assert sum(freed.values()) == plan.freed_bytes
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            generate_drop_plan(plan_groups(2), -1, PARAM_BYTES)
+        with pytest.raises(ValueError):
+            generate_drop_plan(plan_groups(2), 1, 0)
+        with pytest.raises(ValueError):
+            PlanGroup(group_ids=(), num_instances=1)
+
+    def test_balanced_layer_assignment(self):
+        assignment = balanced_layer_assignment(48, 3)
+        assert [len(a) for a in assignment] == [16, 16, 16]
+        assert sorted(l for a in assignment for l in a) == list(range(48))
+        with pytest.raises(ValueError):
+            balanced_layer_assignment(2, 3)
+
+    @given(
+        num_groups=st.integers(min_value=1, max_value=12),
+        required_replicas=st.floats(min_value=0.0, max_value=12.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_plan_preserves_instances_and_meets_requirement(
+        self, num_groups, required_replicas
+    ):
+        required = int(required_replicas * PARAM_BYTES)
+        plan = generate_drop_plan(plan_groups(num_groups), required, PARAM_BYTES)
+        # Every original group appears exactly once in the final partition.
+        flattened = sorted(g for group in plan.final_groups for g in group)
+        assert flattened == list(range(num_groups))
+        # Feasible iff the freed bytes cover the requirement; freed bytes are
+        # exactly (merges) replicas.
+        assert plan.freed_bytes == plan.num_merges * PARAM_BYTES
+        if plan.feasible:
+            assert plan.freed_bytes >= required
+        else:
+            assert len(plan.final_groups) == 1
+
+
+def make_chunk(prefix, tokens, is_decode=False):
+    request = Request(arrival_time=0.0, prompt_tokens=max(1, prefix + tokens), max_output_tokens=4)
+    return ScheduledChunk(request=request, prefix_tokens=prefix, new_tokens=tokens, is_decode=is_decode)
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def fitted(self, request):
+        from repro.cluster.specs import A800_80GB
+        from repro.engine.latency_model import LatencyModel
+
+        latency = LatencyModel(A800_80GB, QWEN_2_5_14B)
+        samples = generate_profiling_samples(latency)
+        return latency, BatchCostModel(fit_cost_model(samples)), samples
+
+    def test_parameters_are_nonnegative(self, fitted):
+        _, model, _ = fitted
+        assert model.params.alpha >= 0
+        assert model.params.beta >= 0
+        assert model.params.gamma >= 0
+        assert model.params.lam >= 0
+
+    def test_cost_monotonic_in_tokens(self, fitted):
+        _, model, _ = fitted
+        assert model.chunk_cost(0, 2048) > model.chunk_cost(0, 256)
+
+    def test_cost_monotonic_in_prefix(self, fitted):
+        _, model, _ = fitted
+        assert model.chunk_cost(4096, 512) > model.chunk_cost(0, 512)
+
+    def test_zero_tokens_cost_nothing(self, fitted):
+        _, model, _ = fitted
+        assert model.chunk_cost(100, 0) == 0.0
+        assert model.microbatch_cost([]) == 0.0
+
+    def test_batching_discount(self, fitted):
+        _, model, _ = fitted
+        chunks = [make_chunk(0, 256) for _ in range(4)]
+        summed = sum(model.chunk_cost_of(c) for c in chunks)
+        assert model.microbatch_cost(chunks) == pytest.approx(summed - 3 * model.params.lam)
+
+    def test_fitted_model_accuracy_beats_no_attention_baseline(self, fitted):
+        latency, model, samples = fitted
+        ours = mean_relative_error(model, latency, samples)
+        baseline = mean_relative_error(NoAttentionCostModel(model.params), latency, samples)
+        assert ours < baseline
+        assert ours < 0.25  # the paper reports <5% on real kernels; the
+        # roofline ground truth has a max() nonlinearity the linear model
+        # cannot capture exactly, so allow a wider (but still small) margin.
+
+    def test_long_prompt_error_gap_matches_figure15_shape(self, fitted):
+        latency, model, _ = fitted
+        chunk = make_chunk(4096, 4096)
+        actual = latency.batch_time([chunk])
+        ours = model.microbatch_cost([chunk])
+        no_attn = NoAttentionCostModel(model.params).microbatch_cost([chunk])
+        assert abs(ours - actual) / actual < abs(no_attn - actual) / actual
+        assert abs(no_attn - actual) / actual > 0.1  # the baseline misses badly
+
+    def test_fit_requires_samples(self):
+        with pytest.raises(ValueError):
+            fit_cost_model([])
+
+    def test_fit_from_latency_model_helper(self, latency_model):
+        model = fit_from_latency_model(latency_model)
+        assert isinstance(model, BatchCostModel)
+
+
+class TestLookahead:
+    @pytest.fixture(scope="class")
+    def cost_model(self):
+        params = CostModelParams(alpha=4e-9, beta=1e-4, gamma=0.01, lam=0.0085)
+        return BatchCostModel(params)
+
+    def test_small_batch_not_split(self, cost_model):
+        chunks = [make_chunk(0, 100)]
+        assert len(lookahead_microbatches(chunks, cost_model, min_tokens=256)) == 1
+
+    def test_split_preserves_tokens(self, cost_model):
+        chunks = [make_chunk(0, 1500), make_chunk(2048, 800)]
+        microbatches = lookahead_microbatches(chunks, cost_model, min_tokens=256)
+        assert sum(mb.total_new_tokens for mb in microbatches) == 2300
+        assert len(microbatches) >= 2
+
+    def test_costs_are_balanced(self, cost_model):
+        chunks = [make_chunk(0, 4000), make_chunk(0, 500), make_chunk(3500, 500)]
+        microbatches = lookahead_microbatches(
+            chunks, cost_model, min_tokens=1000, max_microbatches=2
+        )
+        costs = [cost_model.microbatch_cost(mb.chunks) for mb in microbatches]
+        assert len(costs) == 2
+        assert max(costs) / max(min(costs), 1e-9) < 1.6
+
+    def test_max_microbatches_respected(self, cost_model):
+        chunks = [make_chunk(0, 1000) for _ in range(8)]
+        microbatches = lookahead_microbatches(
+            chunks, cost_model, min_tokens=64, max_microbatches=4
+        )
+        assert len(microbatches) <= 4
+
+    def test_empty_input(self, cost_model):
+        assert lookahead_microbatches([], cost_model) == []
+
+    def test_invalid_args(self, cost_model):
+        with pytest.raises(ValueError):
+            lookahead_microbatches([make_chunk(0, 10)], cost_model, min_tokens=0)
+        with pytest.raises(ValueError):
+            lookahead_microbatches([make_chunk(0, 10)], cost_model, max_microbatches=0)
+
+    def test_former_spreads_decodes_evenly(self, cost_model):
+        former = make_lookahead_former(cost_model, min_tokens_floor=64)
+        chunks = [make_chunk(0, 600)] + [make_chunk(1000, 1, is_decode=True) for _ in range(40)]
+        microbatches = former(chunks, 2)
+        decode_counts = [mb.num_decode_chunks for mb in microbatches]
+        assert sum(decode_counts) == 40
+        assert max(decode_counts) - min(decode_counts) <= 1
+
+    def test_former_handles_decode_only_batches(self, cost_model):
+        former = make_lookahead_former(cost_model)
+        chunks = [make_chunk(500, 1, is_decode=True) for _ in range(10)]
+        microbatches = former(chunks, 2)
+        assert sum(mb.num_chunks for mb in microbatches) == 10
+        assert len(microbatches) >= 1
+
+    def test_former_empty(self, cost_model):
+        former = make_lookahead_former(cost_model)
+        assert former([], 2) == []
+
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=4000), min_size=1, max_size=12),
+        stages=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_former_preserves_all_work(self, lengths, stages):
+        params = CostModelParams(alpha=4e-9, beta=1e-4, gamma=0.01, lam=0.0085)
+        former = make_lookahead_former(BatchCostModel(params))
+        chunks = [make_chunk(0, n) for n in lengths]
+        microbatches = former(chunks, stages)
+        assert sum(mb.total_new_tokens for mb in microbatches) == sum(lengths)
+        # No request's chunk is lost or duplicated beyond a split.
+        per_request = {}
+        for mb in microbatches:
+            for chunk in mb.chunks:
+                per_request[chunk.request.request_id] = (
+                    per_request.get(chunk.request.request_id, 0) + chunk.new_tokens
+                )
+        for chunk, original in zip(chunks, lengths):
+            assert per_request[chunk.request.request_id] == original

@@ -1,0 +1,328 @@
+"""Tests for requests, batches, the latency model, pipeline and metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.specs import A800_80GB, H800_80GB
+from repro.engine.batch import IterationBatch, MicroBatch, ScheduledChunk
+from repro.engine.chunked_prefill import split_into_n_microbatches, token_count_microbatches
+from repro.engine.latency_model import LatencyModel, LatencyModelConfig
+from repro.engine.metrics import MetricsCollector, TimelineSeries, percentile
+from repro.engine.pipeline import PipelineExecution
+from repro.engine.request import Request, RequestState
+from repro.engine.tensor_parallel import allreduce_time, tp_layer_comm_time
+from repro.models.catalog import QWEN_2_5_14B, QWEN_2_5_72B
+
+
+def make_chunk(prefix=0, tokens=10, is_decode=False, prompt=None):
+    request = Request(
+        arrival_time=0.0,
+        prompt_tokens=prompt if prompt is not None else max(1, prefix + tokens),
+        max_output_tokens=8,
+    )
+    return ScheduledChunk(request=request, prefix_tokens=prefix, new_tokens=tokens, is_decode=is_decode)
+
+
+class TestRequest:
+    def test_lifecycle_prefill_then_decode(self):
+        request = Request(arrival_time=1.0, prompt_tokens=100, max_output_tokens=3)
+        assert request.state is RequestState.QUEUED
+        request.record_prefill(60, now=2.0)
+        assert not request.prefill_done
+        request.record_prefill(40, now=2.5)
+        assert request.prefill_done
+        request.record_output_token(2.5)
+        assert request.ttft == pytest.approx(1.5)
+        request.record_output_token(3.0)
+        request.record_output_token(3.4)
+        assert request.finished
+        assert request.finish_time == 3.4
+        assert request.tpot_values == [pytest.approx(0.5), pytest.approx(0.4)]
+        assert request.e2e_latency == pytest.approx(2.4)
+
+    def test_recompute_grows_prefill_target(self):
+        request = Request(arrival_time=0.0, prompt_tokens=100, max_output_tokens=10)
+        request.record_prefill(100, 1.0)
+        request.record_output_token(1.0)
+        request.record_output_token(1.2)
+        request.reset_for_recompute()
+        assert request.prefill_target == 102
+        assert request.prefill_progress == 0
+        assert request.preemption_count == 1
+        assert not request.prefill_done
+
+    def test_first_token_not_double_counted_after_recompute(self):
+        request = Request(arrival_time=0.0, prompt_tokens=10, max_output_tokens=5)
+        request.record_prefill(10, 1.0)
+        request.record_output_token(1.0)
+        first_ttft = request.ttft
+        request.reset_for_recompute()
+        request.record_prefill(11, 2.0)
+        assert request.ttft == first_ttft
+
+    def test_stall(self):
+        request = Request(arrival_time=0.0, prompt_tokens=10, max_output_tokens=5)
+        request.stall_until = 3.0
+        assert request.is_stalled(2.9)
+        assert not request.is_stalled(3.0)
+
+    def test_invalid_requests_rejected(self):
+        with pytest.raises(ValueError):
+            Request(arrival_time=0.0, prompt_tokens=0, max_output_tokens=5)
+        with pytest.raises(ValueError):
+            Request(arrival_time=0.0, prompt_tokens=5, max_output_tokens=0)
+
+
+class TestBatch:
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            make_chunk(tokens=0)
+        with pytest.raises(ValueError):
+            ScheduledChunk(request=Request(arrival_time=0, prompt_tokens=5, max_output_tokens=1),
+                           prefix_tokens=0, new_tokens=2, is_decode=True)
+
+    def test_chunk_split_prefixes(self):
+        chunk = make_chunk(prefix=100, tokens=50)
+        head, tail = chunk.split(20)
+        assert head.new_tokens == 20 and tail.new_tokens == 30
+        assert head.prefix_tokens == 100
+        assert tail.prefix_tokens == 120
+        with pytest.raises(ValueError):
+            chunk.split(50)
+
+    def test_decode_chunk_cannot_split(self):
+        chunk = make_chunk(prefix=10, tokens=1, is_decode=True)
+        with pytest.raises(ValueError):
+            chunk.split(1)
+
+    def test_iteration_batch_accounting(self):
+        batch = IterationBatch()
+        batch.add(make_chunk(tokens=100))
+        batch.add(make_chunk(prefix=50, tokens=1, is_decode=True))
+        assert batch.total_new_tokens == 101
+        assert batch.num_requests == 2
+        assert len(batch.decode_chunks) == 1
+        assert len(batch.prefill_chunks) == 1
+        assert not batch.empty
+
+    def test_microbatch_counts(self):
+        microbatch = MicroBatch(chunks=[make_chunk(tokens=5), make_chunk(tokens=1, prefix=3, is_decode=True)])
+        assert microbatch.total_new_tokens == 6
+        assert microbatch.num_decode_chunks == 1
+        assert len(microbatch) == 2
+
+
+class TestLatencyModel:
+    def test_prefill_scales_superlinearly_with_length(self):
+        model = LatencyModel(A800_80GB, QWEN_2_5_14B)
+        t1 = model.prefill_time(1024)
+        t8 = model.prefill_time(8192)
+        assert t8 > 6 * t1
+
+    def test_prefill_magnitude_is_plausible(self):
+        model = LatencyModel(A800_80GB, QWEN_2_5_14B)
+        t = model.prefill_time(2048)
+        assert 0.1 < t < 0.6  # hundreds of milliseconds on an A800
+
+    def test_decode_batch_amortizes_weights(self):
+        model = LatencyModel(A800_80GB, QWEN_2_5_14B)
+        single = model.decode_time(1024, batch_size=1)
+        batch64 = model.decode_time(1024, batch_size=64)
+        assert batch64 < 64 * single
+        assert batch64 > single
+
+    def test_fewer_layers_faster(self):
+        model = LatencyModel(A800_80GB, QWEN_2_5_14B)
+        chunk = [make_chunk(tokens=512)]
+        assert model.batch_time(chunk, num_layers=24) < model.batch_time(chunk, num_layers=48)
+
+    def test_prefix_increases_cost(self):
+        model = LatencyModel(A800_80GB, QWEN_2_5_14B)
+        assert model.prefill_time(1024, prefix_tokens=4096) > model.prefill_time(1024)
+
+    def test_tp_pays_communication(self):
+        tp1 = LatencyModel(H800_80GB, QWEN_2_5_72B, tp_degree=1)
+        tp4 = LatencyModel(H800_80GB, QWEN_2_5_72B, tp_degree=4)
+        chunk = [make_chunk(tokens=1024)]
+        # TP4 has 4x the compute, but the speedup is < 4x due to all-reduce.
+        assert tp4.batch_time(chunk) < tp1.batch_time(chunk)
+        assert tp4.batch_time(chunk) > tp1.batch_time(chunk) / 4.5
+
+    def test_empty_batch_is_free(self):
+        model = LatencyModel(A800_80GB, QWEN_2_5_14B)
+        assert model.batch_time([]) == 0.0
+
+    def test_invalid_layer_count(self):
+        model = LatencyModel(A800_80GB, QWEN_2_5_14B)
+        with pytest.raises(ValueError):
+            model.batch_time([make_chunk()], num_layers=0)
+
+    def test_jitter_disabled_by_default(self):
+        model = LatencyModel(A800_80GB, QWEN_2_5_14B)
+        chunk = [make_chunk(tokens=128)]
+        assert model.batch_time(chunk) == model.batch_time(chunk)
+
+    def test_config_validation_via_tp(self):
+        with pytest.raises(ValueError):
+            LatencyModel(A800_80GB, QWEN_2_5_14B, tp_degree=0)
+
+
+class TestTensorParallel:
+    def test_allreduce_zero_for_single_rank(self):
+        assert allreduce_time(1e6, 100e9, 1) == 0.0
+
+    def test_allreduce_scales_with_size(self):
+        assert allreduce_time(2e6, 100e9, 4) > allreduce_time(1e6, 100e9, 4)
+
+    def test_layer_comm_zero_for_tp1(self):
+        assert tp_layer_comm_time(100, 4096, 2, 100e9, 1) == 0.0
+
+    def test_bandwidth_required_for_multi_rank(self):
+        with pytest.raises(ValueError):
+            allreduce_time(1e6, 0.0, 4)
+
+
+class TestPipeline:
+    def test_balanced_partition(self):
+        assert PipelineExecution.balanced_layer_partition(48, 2) == [24, 24]
+        assert PipelineExecution.balanced_layer_partition(7, 2) == [4, 3]
+        with pytest.raises(ValueError):
+            PipelineExecution.balanced_layer_partition(3, 4)
+
+    def test_layer_ranges_cover_all_layers(self):
+        ranges = PipelineExecution.layer_ranges(48, 4)
+        layers = [layer for r in ranges for layer in r]
+        assert layers == list(range(48))
+
+    def test_makespan_single_stage(self):
+        stats = PipelineExecution.makespan([[1.0], [2.0]])
+        assert stats.makespan == 3.0
+        assert stats.bubble_fraction == 0.0
+
+    def test_makespan_balanced_two_stage(self):
+        stats = PipelineExecution.makespan([[1.0, 1.0], [1.0, 1.0]])
+        assert stats.makespan == 3.0
+        assert stats.num_stages == 2
+        assert 0 < stats.bubble_fraction < 0.5
+
+    def test_imbalanced_microbatches_increase_makespan(self):
+        balanced = PipelineExecution.makespan([[1.0, 1.0], [1.0, 1.0]])
+        imbalanced = PipelineExecution.makespan([[0.5, 0.5], [1.5, 1.5]])
+        assert imbalanced.makespan > balanced.makespan
+        assert imbalanced.bubble_fraction > balanced.bubble_fraction
+
+    def test_comm_time_adds_latency(self):
+        with_comm = PipelineExecution.makespan([[1.0, 1.0]], comm_time=0.5)
+        without = PipelineExecution.makespan([[1.0, 1.0]])
+        assert with_comm.makespan == pytest.approx(without.makespan + 0.5)
+
+    def test_empty_schedule(self):
+        stats = PipelineExecution.makespan([])
+        assert stats.makespan == 0.0
+
+    def test_ragged_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineExecution.makespan([[1.0, 1.0], [1.0]])
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=2, max_size=2),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_makespan_bounds(self, stage_times):
+        stats = PipelineExecution.makespan(stage_times)
+        total = sum(sum(row) for row in stage_times)
+        max_stage_busy = max(stats.stage_busy)
+        assert stats.makespan >= max_stage_busy - 1e-9
+        assert stats.makespan <= total + 1e-9
+        assert 0.0 <= stats.bubble_fraction <= 1.0
+
+
+class TestChunkedPrefill:
+    def test_token_budget_respected(self):
+        chunks = [make_chunk(tokens=300), make_chunk(tokens=300), make_chunk(tokens=300)]
+        microbatches = token_count_microbatches(chunks, 512)
+        assert all(mb.total_new_tokens <= 512 for mb in microbatches)
+        assert sum(mb.total_new_tokens for mb in microbatches) == 900
+
+    def test_large_prefill_gets_chunked(self):
+        microbatches = token_count_microbatches([make_chunk(tokens=1200)], 512)
+        assert len(microbatches) == 3
+        assert [mb.total_new_tokens for mb in microbatches] == [512, 512, 176]
+        # Later chunks carry the earlier chunks as prefix.
+        assert microbatches[1].chunks[0].prefix_tokens == 512
+
+    def test_decode_chunks_not_split(self):
+        chunks = [make_chunk(prefix=10, tokens=1, is_decode=True) for _ in range(5)]
+        microbatches = token_count_microbatches(chunks, 2)
+        assert all(all(c.is_decode for c in mb.chunks) for mb in microbatches)
+        assert sum(mb.num_chunks for mb in microbatches) == 5
+
+    def test_split_into_n(self):
+        chunks = [make_chunk(tokens=500), make_chunk(tokens=500)]
+        microbatches = split_into_n_microbatches(chunks, 2)
+        assert len(microbatches) == 2
+        assert split_into_n_microbatches([], 2) == []
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            token_count_microbatches([make_chunk()], 0)
+
+
+class TestMetrics:
+    def test_percentile_empty(self):
+        assert percentile([], 99) == 0.0
+
+    def test_timeline_series_modes(self):
+        sums = TimelineSeries(window_s=1.0, mode="sum")
+        means = TimelineSeries(window_s=1.0, mode="mean")
+        for t, v in [(0.1, 1.0), (0.2, 3.0), (1.5, 10.0)]:
+            sums.add(t, v)
+            means.add(t, v)
+        assert [p.value for p in sums.points()] == [4.0, 10.0]
+        assert [p.value for p in means.points()] == [2.0, 10.0]
+        with pytest.raises(ValueError):
+            TimelineSeries(window_s=0)
+        with pytest.raises(ValueError):
+            TimelineSeries(mode="median")
+
+    def test_collector_request_records(self):
+        collector = MetricsCollector()
+        request = Request(arrival_time=0.0, prompt_tokens=10, max_output_tokens=2)
+        request.record_prefill(10, 1.0)
+        request.record_output_token(1.0)
+        request.record_output_token(1.5)
+        record = collector.record_request(request)
+        assert record.finished
+        assert collector.ttft_percentile(50) == pytest.approx(1.0)
+        assert collector.tpot_percentile(50) == pytest.approx(0.5)
+        assert collector.finished_count() == 1
+        assert collector.total_output_tokens() == 2
+
+    def test_collector_iteration_and_memory(self):
+        collector = MetricsCollector()
+        collector.record_iteration(group_id=0, start_time=0.0, duration=0.1, new_tokens=100,
+                                   num_requests=2, num_stages=2, bubble_fraction=0.25)
+        collector.sample_memory(0.5, used_bytes=10.0, capacity_bytes=100.0, demand_bytes=20.0)
+        collector.mark_event(0.7, "drop", freed_bytes=5)
+        summary = collector.summary()
+        assert summary["mean_bubble_fraction"] == pytest.approx(0.25)
+        assert collector.memory_capacity.max() == 100.0
+        assert collector.events[0]["kind"] == "drop"
+
+    def test_mean_ttft_timeline_buckets_by_arrival(self):
+        collector = MetricsCollector()
+        for arrival, ttft in [(0.0, 1.0), (1.0, 2.0), (12.0, 4.0)]:
+            request = Request(arrival_time=arrival, prompt_tokens=10, max_output_tokens=1)
+            request.record_prefill(10, arrival + ttft)
+            request.record_output_token(arrival + ttft)
+            collector.record_request(request)
+        points = collector.mean_ttft_timeline(window_s=10.0)
+        assert len(points) == 2
+        assert points[0].value == pytest.approx(1.5)
+        assert points[1].value == pytest.approx(4.0)

@@ -1,0 +1,249 @@
+"""Tests for the GPU memory substrate (physical, virtual, paged KV, unified)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.paged_kv import PagedKVCache
+from repro.memory.physical import PhysicalMemoryPool
+from repro.memory.unified import UnifiedMemoryManager
+from repro.memory.virtual_memory import VirtualAddressSpace
+from repro.models.catalog import QWEN_2_5_14B
+from repro.models.memory import kv_bytes_per_token
+
+GB = 1024 ** 3
+MB = 1024 ** 2
+
+
+class TestPhysicalMemoryPool:
+    def test_capacity_in_chunks(self):
+        pool = PhysicalMemoryPool(10 * MB, chunk_bytes=MB)
+        assert pool.total_chunks == 10
+        assert pool.free_bytes == 10 * MB
+
+    def test_allocate_and_free(self):
+        pool = PhysicalMemoryPool(10 * MB, chunk_bytes=MB)
+        chunks = pool.allocate(3 * MB)
+        assert len(chunks) == 3
+        assert pool.free_chunks == 7
+        pool.free(chunks)
+        assert pool.free_chunks == 10
+
+    def test_allocation_rounds_up(self):
+        pool = PhysicalMemoryPool(10 * MB, chunk_bytes=MB)
+        chunks = pool.allocate(MB + 1)
+        assert len(chunks) == 2
+
+    def test_out_of_memory_raises(self):
+        pool = PhysicalMemoryPool(2 * MB, chunk_bytes=MB)
+        pool.allocate(2 * MB)
+        with pytest.raises(MemoryError):
+            pool.allocate(1)
+
+    def test_double_free_raises(self):
+        pool = PhysicalMemoryPool(2 * MB, chunk_bytes=MB)
+        chunks = pool.allocate(MB)
+        pool.free(chunks)
+        with pytest.raises(KeyError):
+            pool.free(chunks)
+
+    @given(st.lists(st.integers(min_value=1, max_value=8 * MB), min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_property_allocated_never_exceeds_total(self, sizes):
+        pool = PhysicalMemoryPool(64 * MB, chunk_bytes=MB)
+        live = []
+        for size in sizes:
+            try:
+                live.append(pool.allocate(size))
+            except MemoryError:
+                if live:
+                    pool.free(live.pop(0))
+            assert 0 <= pool.allocated_bytes <= pool.total_bytes
+            assert pool.allocated_bytes + pool.free_bytes == pool.total_bytes
+
+
+class TestVirtualAddressSpace:
+    def test_reserve_and_map_tail(self):
+        vas = VirtualAddressSpace(chunk_bytes=MB)
+        pool = PhysicalMemoryPool(8 * MB, chunk_bytes=MB)
+        vrange = vas.reserve(4 * MB)
+        chunks = pool.allocate(2 * MB)
+        assert vas.map_tail(vrange, chunks) == 2 * MB
+        assert vrange.mapped_pages == 2
+
+    def test_unmap_tail_returns_last_chunks(self):
+        vas = VirtualAddressSpace(chunk_bytes=MB)
+        pool = PhysicalMemoryPool(8 * MB, chunk_bytes=MB)
+        vrange = vas.reserve(4 * MB)
+        chunks = pool.allocate(3 * MB)
+        vas.map_tail(vrange, chunks)
+        popped = vas.unmap_tail(vrange, 2)
+        assert {c.chunk_id for c in popped} == {chunks[-1].chunk_id, chunks[-2].chunk_id}
+        assert vrange.mapped_pages == 1
+
+    def test_cannot_map_beyond_range(self):
+        vas = VirtualAddressSpace(chunk_bytes=MB)
+        pool = PhysicalMemoryPool(8 * MB, chunk_bytes=MB)
+        vrange = vas.reserve(2 * MB)
+        with pytest.raises(ValueError):
+            vas.map_tail(vrange, pool.allocate(3 * MB))
+
+    def test_lookup_translates_offsets(self):
+        vas = VirtualAddressSpace(chunk_bytes=MB)
+        pool = PhysicalMemoryPool(8 * MB, chunk_bytes=MB)
+        vrange = vas.reserve(4 * MB)
+        chunks = pool.allocate(2 * MB)
+        vas.map_tail(vrange, chunks)
+        assert vas.lookup(vrange, 0).chunk_id == chunks[0].chunk_id
+        assert vas.lookup(vrange, MB + 5).chunk_id == chunks[1].chunk_id
+        assert vas.lookup(vrange, 3 * MB) is None
+        with pytest.raises(ValueError):
+            vas.lookup(vrange, 5 * MB)
+
+    def test_release_requires_unmapped(self):
+        vas = VirtualAddressSpace(chunk_bytes=MB)
+        pool = PhysicalMemoryPool(8 * MB, chunk_bytes=MB)
+        vrange = vas.reserve(2 * MB)
+        vas.map_tail(vrange, pool.allocate(MB))
+        with pytest.raises(ValueError):
+            vas.release(vrange)
+
+
+class TestPagedKVCache:
+    def test_basic_allocation(self):
+        cache = PagedKVCache(num_blocks=10, block_size=16)
+        assert cache.allocate(1, 20) == 2
+        assert cache.used_blocks == 2
+        assert cache.tokens_of(1) == 20
+
+    def test_incremental_growth_uses_block_slack(self):
+        cache = PagedKVCache(num_blocks=10, block_size=16)
+        cache.allocate(1, 10)
+        assert cache.allocate(1, 6) == 0  # fits in the same block
+        assert cache.allocate(1, 1) == 1  # spills into a new block
+
+    def test_memory_error_when_full(self):
+        cache = PagedKVCache(num_blocks=2, block_size=16)
+        cache.allocate(1, 32)
+        with pytest.raises(MemoryError):
+            cache.allocate(2, 1)
+        assert not cache.can_allocate(2, 1)
+
+    def test_free_releases_blocks(self):
+        cache = PagedKVCache(num_blocks=4, block_size=16)
+        cache.allocate(1, 64)
+        assert cache.free(1) == 4
+        assert cache.free_blocks == 4
+        assert cache.free(1) == 0
+
+    def test_grow_and_shrink(self):
+        cache = PagedKVCache(num_blocks=2, block_size=16)
+        cache.grow(3)
+        assert cache.num_blocks == 5
+        cache.allocate(1, 40)
+        with pytest.raises(MemoryError):
+            cache.shrink(3)
+        cache.shrink(2)
+        assert cache.num_blocks == 3
+
+    def test_free_partial(self):
+        cache = PagedKVCache(num_blocks=10, block_size=16)
+        cache.allocate(1, 100)
+        freed = cache.free_partial(1, keep_tokens=20)
+        assert freed == 5
+        assert cache.tokens_of(1) == 20
+        assert cache.free_partial(1, keep_tokens=0) == 2
+        assert not cache.has_request(1)
+
+    def test_fragmentation_accounting(self):
+        cache = PagedKVCache(num_blocks=10, block_size=16)
+        cache.allocate(1, 17)
+        assert cache.fragmentation_tokens() == 15
+
+    def test_utilization(self):
+        cache = PagedKVCache(num_blocks=4, block_size=16)
+        assert cache.utilization == 0.0
+        cache.allocate(1, 32)
+        assert cache.utilization == 0.5
+        empty = PagedKVCache(num_blocks=0, block_size=16)
+        assert empty.utilization == 1.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=9), st.integers(min_value=1, max_value=200)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_block_accounting_is_consistent(self, operations):
+        cache = PagedKVCache(num_blocks=50, block_size=16)
+        for request_id, tokens in operations:
+            if cache.can_allocate(request_id, tokens):
+                cache.allocate(request_id, tokens)
+            else:
+                cache.free(request_id)
+            assert cache.used_blocks == sum(
+                cache.blocks_for_tokens(cache.tokens_of(r)) for r in cache.request_ids()
+            )
+            assert 0 <= cache.used_blocks <= cache.num_blocks
+
+
+class TestUnifiedMemoryManager:
+    def _manager(self) -> UnifiedMemoryManager:
+        manager = UnifiedMemoryManager(QWEN_2_5_14B, 80 * GB)
+        manager.load_layers(range(QWEN_2_5_14B.num_layers))
+        manager.provision_kv_cache()
+        return manager
+
+    def test_full_model_load_leaves_kv_capacity(self):
+        manager = self._manager()
+        assert manager.num_resident_layers == 48
+        # ~49 GB of KV capacity on an 80 GB GPU with a 28 GB model + reserve.
+        assert 40 * GB < manager.kv_capacity_bytes < 52 * GB
+        assert manager.kv_capacity_tokens > 200_000
+
+    def test_drop_layers_grows_kv(self):
+        manager = self._manager()
+        before = manager.kv_capacity_tokens
+        result = manager.drop_layers(range(24, 48))
+        assert result.dropped_layers == list(range(24, 48))
+        assert result.freed_bytes > 13e9
+        assert manager.kv_capacity_tokens > before
+        assert manager.num_resident_layers == 24
+
+    def test_drop_is_idempotent_for_missing_layers(self):
+        manager = self._manager()
+        manager.drop_layers(range(24, 48))
+        second = manager.drop_layers(range(24, 48))
+        assert second.freed_bytes == 0
+        assert second.remap_latency_s == 0.0
+
+    def test_restore_roundtrip(self):
+        manager = self._manager()
+        original_tokens = manager.kv_capacity_tokens
+        manager.drop_layers(range(24, 48))
+        result = manager.restore_layers(range(24, 48))
+        assert result.restored_layers == list(range(24, 48))
+        assert result.transfer_bytes == pytest.approx(24 * manager.layer_param_bytes)
+        assert manager.num_resident_layers == 48
+        assert abs(manager.kv_capacity_tokens - original_tokens) <= manager.block_size * 4
+
+    def test_restore_requires_free_kv(self):
+        manager = self._manager()
+        manager.drop_layers(range(24, 48))
+        # Fill the cache completely so the tail cannot be reclaimed.
+        manager.kv_cache.allocate(1, manager.kv_capacity_tokens)
+        assert not manager.can_restore_layers(range(24, 48))
+        with pytest.raises(MemoryError):
+            manager.restore_layers(range(24, 48))
+
+    def test_model_too_big_raises(self):
+        manager = UnifiedMemoryManager(QWEN_2_5_14B, 20 * GB)
+        with pytest.raises(MemoryError):
+            manager.load_layers(range(QWEN_2_5_14B.num_layers))
+
+    def test_kv_demand_bytes(self):
+        manager = self._manager()
+        assert manager.kv_demand_bytes(10) == 10 * kv_bytes_per_token(QWEN_2_5_14B)
