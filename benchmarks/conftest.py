@@ -8,9 +8,20 @@ reports so the output can be compared against EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
 
 from repro.experiments.runner import ExperimentScale
+
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark as ``slow`` so ``-m "not slow"`` skips the suite."""
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 #: Scale used by all benchmarks: 2 serving instances, a ~60 s trace.
 BENCH_SCALE = ExperimentScale(

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Run the simulator benchmark harness and write BENCH_results.json at the
+# repository root.  Extra arguments are forwarded to `python -m repro.bench`
+# (e.g. `scripts/bench.sh --tiny`, `scripts/bench.sh --experiments figure12`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m repro.bench "$@"

@@ -1,0 +1,51 @@
+"""Benchmark harness for the simulator itself (``python -m repro.bench``).
+
+Times each paper experiment and each overload policy on a canonical
+BurstGPT slice (host wall-clock and simulated events/sec) and emits a
+stable-schema ``BENCH_results.json`` at the repository root so the
+simulator's performance trajectory is tracked across PRs.
+"""
+
+from repro.bench.harness import (
+    BenchEntry,
+    CANONICAL_SCALE,
+    CANONICAL_WORKLOAD,
+    DEFAULT_OUTPUT,
+    EXPERIMENT_RUNNERS,
+    TINY_SCALE,
+    format_results,
+    run_benchmarks,
+    run_experiment_benchmark,
+    run_experiment_benchmarks,
+    run_policy_benchmark,
+    run_policy_benchmarks,
+    write_results,
+)
+from repro.bench.schema import (
+    DOCUMENT_KEYS,
+    ENTRY_KEYS,
+    SCALE_KEYS,
+    SCHEMA_VERSION,
+    validate_document,
+)
+
+__all__ = [
+    "BenchEntry",
+    "CANONICAL_SCALE",
+    "CANONICAL_WORKLOAD",
+    "DEFAULT_OUTPUT",
+    "DOCUMENT_KEYS",
+    "ENTRY_KEYS",
+    "EXPERIMENT_RUNNERS",
+    "SCALE_KEYS",
+    "SCHEMA_VERSION",
+    "TINY_SCALE",
+    "format_results",
+    "run_benchmarks",
+    "run_experiment_benchmark",
+    "run_experiment_benchmarks",
+    "run_policy_benchmark",
+    "run_policy_benchmarks",
+    "validate_document",
+    "write_results",
+]

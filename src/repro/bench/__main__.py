@@ -1,0 +1,99 @@
+"""CLI entry point: ``python -m repro.bench``.
+
+Runs the benchmark harness at the canonical scale and writes
+``BENCH_results.json`` to the repository root (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from repro.bench.harness import (
+    CANONICAL_SCALE,
+    EXPERIMENT_RUNNERS,
+    TINY_SCALE,
+    format_results,
+    run_benchmarks,
+    write_results,
+)
+from repro.bench.schema import validate_document
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the simulator: wall-clock and simulated events/sec "
+        "per policy and per paper experiment.",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write BENCH_results.json (default: repository root)",
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="use the tiny smoke-test scale instead of the canonical scale",
+    )
+    parser.add_argument(
+        "--instances", type=int, default=None, help="override the instance count"
+    )
+    parser.add_argument(
+        "--trace-duration",
+        type=float,
+        default=None,
+        help="override the trace duration in simulated seconds",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    parser.add_argument(
+        "--skip-policies", action="store_true", help="skip the per-policy benchmarks"
+    )
+    parser.add_argument(
+        "--skip-experiments",
+        action="store_true",
+        help="skip the figure/table experiment benchmarks",
+    )
+    parser.add_argument(
+        "--experiments",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help=f"subset of experiments to run (known: {', '.join(EXPERIMENT_RUNNERS)})",
+    )
+    args = parser.parse_args(argv)
+
+    scale = TINY_SCALE if args.tiny else CANONICAL_SCALE
+    if args.instances is not None or args.trace_duration is not None:
+        overrides = {"name": f"{scale.name}-custom"}
+        if args.instances is not None:
+            overrides["num_instances"] = args.instances
+        if args.trace_duration is not None:
+            overrides["trace_duration_s"] = args.trace_duration
+            overrides["drain_timeout_s"] = args.trace_duration
+        scale = dataclasses.replace(scale, **overrides)
+
+    try:
+        document = run_benchmarks(
+            scale,
+            seed=args.seed,
+            include_policies=not args.skip_policies,
+            include_experiments=not args.skip_experiments,
+            experiments=args.experiments,
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    problems = validate_document(document)
+    if problems:
+        print("schema violations:", *problems, sep="\n  ", file=sys.stderr)
+        return 1
+    path = write_results(document, args.output)
+    print(format_results(document))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,259 @@
+"""Benchmark harness: time the simulator itself.
+
+CCBench-style reproducible performance tracking for this repository: every
+run replays a *canonical* BurstGPT slice through each overload policy and
+executes each paper experiment at a fixed quick scale, measuring host
+wall-clock time and simulated events per second, and writes the results to
+``BENCH_results.json`` (schema: :mod:`repro.bench.schema`).  Subsequent PRs
+re-run the harness to track the simulator's performance trajectory.
+
+Two knobs matter:
+
+* ``scale`` — the scenario size.  :data:`CANONICAL_SCALE` is the default
+  used for trajectory tracking; :data:`TINY_SCALE` exists for smoke tests.
+* ``experiments`` / ``policies`` — which benchmarks to run; by default all
+  figure/table experiments and all five policies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    figure2,
+    figure5,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    table1,
+)
+from repro.experiments.runner import (
+    ExperimentScale,
+    WORKLOAD_PRESETS,
+    build_preset_workload,
+    build_system_config,
+    make_policies,
+)
+from repro.serving.system import ClusterServingSystem
+from repro.simulation.event_loop import EventLoop
+from repro.version import __version__
+
+#: Scenario used for trajectory tracking: a 2-instance cluster replaying a
+#: 45-second BurstGPT slice — small enough to run in seconds, large enough
+#: to exercise overload, preemption and (for KunServe) a parameter drop.
+CANONICAL_SCALE = ExperimentScale(
+    name="bench-canonical",
+    num_instances=2,
+    trace_duration_s=45.0,
+    drain_timeout_s=45.0,
+)
+
+#: Minimal scenario for smoke tests: completes in well under a second.
+TINY_SCALE = ExperimentScale(
+    name="bench-tiny",
+    num_instances=2,
+    trace_duration_s=4.0,
+    drain_timeout_s=4.0,
+)
+
+#: Workload preset every policy benchmark replays.
+CANONICAL_WORKLOAD = "burstgpt-14b"
+
+#: Default output location: the repository root.
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_results.json"
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One benchmark measurement (see :mod:`repro.bench.schema`)."""
+
+    experiment: str
+    kind: str
+    policy: Optional[str]
+    wall_s: float
+    sim_s: float
+    events: int
+    events_per_s: float
+    finished_requests: int
+
+
+def _metered(fn: Callable[[], Dict[str, float]]) -> Dict[str, float]:
+    """Run ``fn`` measuring wall time and global event-loop activity."""
+    events_before = EventLoop.lifetime_events
+    start = time.perf_counter()
+    extra = fn() or {}
+    wall_s = time.perf_counter() - start
+    events = EventLoop.lifetime_events - events_before
+    return {
+        "wall_s": wall_s,
+        "events": events,
+        "events_per_s": events / wall_s if wall_s > 0 and events else 0.0,
+        **extra,
+    }
+
+
+# ----------------------------------------------------------------------
+# Policy benchmarks: each policy replays the canonical BurstGPT slice
+# ----------------------------------------------------------------------
+def run_policy_benchmark(
+    policy, scale: ExperimentScale, *, seed: int = 42, workload=None
+) -> BenchEntry:
+    """Replay the canonical workload under one policy; meter the run."""
+    preset = WORKLOAD_PRESETS[CANONICAL_WORKLOAD]
+    if workload is None:
+        workload = build_preset_workload(preset, scale, seed=seed)
+    config = build_system_config(preset, scale, seed=seed)
+    system = ClusterServingSystem(config, policy)
+
+    def body() -> Dict[str, float]:
+        result = system.run(workload)
+        return {
+            "sim_s": result.duration_s,
+            "finished_requests": result.finished_requests,
+        }
+
+    measured = _metered(body)
+    return BenchEntry(
+        experiment=f"policy:{policy.name}",
+        kind="policy",
+        policy=policy.name,
+        wall_s=measured["wall_s"],
+        sim_s=measured["sim_s"],
+        events=int(measured["events"]),
+        events_per_s=measured["events_per_s"],
+        finished_requests=int(measured["finished_requests"]),
+    )
+
+
+def run_policy_benchmarks(
+    scale: ExperimentScale = CANONICAL_SCALE, *, seed: int = 42
+) -> List[BenchEntry]:
+    """Benchmark all five systems on the same canonical workload."""
+    preset = WORKLOAD_PRESETS[CANONICAL_WORKLOAD]
+    workload = build_preset_workload(preset, scale, seed=seed)
+    return [
+        run_policy_benchmark(policy, scale, seed=seed, workload=workload)
+        for policy in make_policies()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Experiment benchmarks: each paper figure/table at the requested scale
+# ----------------------------------------------------------------------
+#: id -> runner; every runner accepts the scale unless marked analytic.
+EXPERIMENT_RUNNERS: Dict[str, Callable] = {
+    "figure2": lambda scale, seed: figure2.run_figure2(scale, seed=seed),
+    "figure5": lambda scale, seed: figure5.run_figure5(scale, seed=seed, max_degree=2),
+    "figure12": lambda scale, seed: figure12.run_figure12(
+        scale, seed=seed, workload_keys=("burstgpt-14b",)
+    ),
+    "figure13": lambda scale, seed: figure13.run_figure13(
+        scale, seed=seed, workload_keys=("burstgpt-14b",)
+    ),
+    "figure14": lambda scale, seed: figure14.run_figure14(scale, seed=seed),
+    "figure15": lambda scale, seed: figure15.run_figure15(),
+    "figure16": lambda scale, seed: figure16.run_figure16(
+        scale, seed=seed, duration_s=3 * scale.trace_duration_s
+    ),
+    "figure17": lambda scale, seed: figure17.run_figure17(scale, seed=seed),
+    "table1": lambda scale, seed: table1.run_table1(),
+}
+
+
+def run_experiment_benchmark(
+    experiment_id: str, scale: ExperimentScale, *, seed: int = 42
+) -> BenchEntry:
+    """Run one figure/table experiment end-to-end; meter the run."""
+    runner = EXPERIMENT_RUNNERS[experiment_id]
+
+    def body() -> Dict[str, float]:
+        runner(scale, seed)
+        return {}
+
+    measured = _metered(body)
+    return BenchEntry(
+        experiment=experiment_id,
+        kind="experiment",
+        policy=None,
+        wall_s=measured["wall_s"],
+        sim_s=0.0,
+        events=int(measured["events"]),
+        events_per_s=measured["events_per_s"],
+        finished_requests=0,
+    )
+
+
+def run_experiment_benchmarks(
+    scale: ExperimentScale = CANONICAL_SCALE,
+    *,
+    seed: int = 42,
+    experiments: Optional[Sequence[str]] = None,
+) -> List[BenchEntry]:
+    """Benchmark the requested (default: all) figure/table experiments."""
+    ids = list(experiments) if experiments is not None else list(EXPERIMENT_RUNNERS)
+    unknown = [i for i in ids if i not in EXPERIMENT_RUNNERS]
+    if unknown:
+        known = ", ".join(EXPERIMENT_RUNNERS)
+        raise KeyError(f"unknown experiments {unknown}; known: {known}")
+    return [run_experiment_benchmark(i, scale, seed=seed) for i in ids]
+
+
+# ----------------------------------------------------------------------
+# Full harness + persistence
+# ----------------------------------------------------------------------
+def run_benchmarks(
+    scale: ExperimentScale = CANONICAL_SCALE,
+    *,
+    seed: int = 42,
+    include_policies: bool = True,
+    include_experiments: bool = True,
+    experiments: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Run the harness and return the ``BENCH_results.json`` document."""
+    entries: List[BenchEntry] = []
+    if include_policies:
+        entries.extend(run_policy_benchmarks(scale, seed=seed))
+    if include_experiments:
+        entries.extend(run_experiment_benchmarks(scale, seed=seed, experiments=experiments))
+    return {
+        "schema_version": 1,
+        "repro_version": __version__,
+        "scale": {
+            "name": scale.name,
+            "num_instances": scale.num_instances,
+            "trace_duration_s": scale.trace_duration_s,
+            "drain_timeout_s": scale.drain_timeout_s,
+        },
+        "entries": [asdict(entry) for entry in entries],
+    }
+
+
+def write_results(document: Dict, path: Optional[Path] = None) -> Path:
+    """Write the document to ``BENCH_results.json`` (repo root by default)."""
+    target = Path(path) if path is not None else DEFAULT_OUTPUT
+    target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def format_results(document: Dict) -> str:
+    """Human-readable table of a results document."""
+    lines = [
+        f"repro {document['repro_version']} · scale {document['scale']['name']} "
+        f"({document['scale']['num_instances']} instances, "
+        f"{document['scale']['trace_duration_s']:.0f}s trace)",
+        f"{'experiment':<18} {'policy':<12} {'wall_s':>8} {'events':>9} {'events/s':>10} {'finished':>8}",
+    ]
+    for entry in document["entries"]:
+        lines.append(
+            f"{entry['experiment']:<18} {entry['policy'] or '-':<12} "
+            f"{entry['wall_s']:>8.2f} {entry['events']:>9d} "
+            f"{entry['events_per_s']:>10.0f} {entry['finished_requests']:>8d}"
+        )
+    return "\n".join(lines)

@@ -15,8 +15,9 @@ bandwidth is left.  This is the mechanism KunServe's coordinated exchange
 are never stalled behind them.
 
 Rates are recomputed whenever the set of active transfers at any endpoint
-changes (a fluid-flow approximation), and completion events are rescheduled
-accordingly — standard progress-based network simulation.
+changes (a fluid-flow approximation), and the single completion event for
+the earliest-finishing transfer is rescheduled accordingly — standard
+progress-based network simulation.
 """
 
 from __future__ import annotations
@@ -53,7 +54,6 @@ class Transfer:
     completed_at: Optional[float] = field(default=None)
     current_rate: float = field(default=0.0)
     _last_update: float = field(default=0.0)
-    _completion_event: Optional[Event] = field(default=None, repr=False)
     cancelled: bool = field(default=False)
 
     def __post_init__(self) -> None:
@@ -81,6 +81,11 @@ class NetworkFabric:
         self._active: Dict[int, Transfer] = {}
         self._counter = itertools.count()
         self.completed_transfers: List[Transfer] = []
+        #: single pending completion event, for the transfer that finishes
+        #: earliest under the current rates.  Keeping one event instead of
+        #: one per transfer avoids O(active) heap churn on every rate change
+        #: (the coordinated KV exchange keeps hundreds of transfers live).
+        self._next_completion: Optional[Event] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -141,8 +146,6 @@ class NetworkFabric:
         transfer.cancelled = True
         self._advance_progress()
         del self._active[transfer.transfer_id]
-        if transfer._completion_event is not None:
-            transfer._completion_event.cancel()
         self._recompute_rates()
 
     def active_transfers(self, node: Optional[str] = None) -> List[Transfer]:
@@ -187,56 +190,78 @@ class NetworkFabric:
     def _recompute_rates(self) -> None:
         """Recompute every active transfer's rate and completion event."""
         self._advance_progress()
-        # Count per-node demand at each priority level.
+        active = list(self._active.values())
+        # Count per-node demand at each priority level.  Per-node *share*
+        # is then computed once per (node, priority) instead of once per
+        # transfer endpoint — this runs on every submit/complete/cancel.
         per_node_high: Dict[str, int] = {}
         per_node_total: Dict[str, int] = {}
-        for transfer in self._active.values():
+        activation = TransferPriority.ACTIVATION
+        for transfer in active:
             for node in (transfer.src, transfer.dst):
                 per_node_total[node] = per_node_total.get(node, 0) + 1
-                if transfer.priority == TransferPriority.ACTIVATION:
+                if transfer.priority == activation:
                     per_node_high[node] = per_node_high.get(node, 0) + 1
 
-        for transfer in self._active.values():
-            rate = float("inf")
-            for node in (transfer.src, transfer.dst):
-                bandwidth = self._node_bandwidth[node]
-                high = per_node_high.get(node, 0)
-                total = per_node_total.get(node, 0)
-                if transfer.priority == TransferPriority.ACTIVATION:
-                    share = bandwidth / max(1, high)
-                else:
-                    # Bulk transfers share the bandwidth left over after the
-                    # high-priority class; we conservatively give the high
-                    # class 90% of the node while it is active.
-                    leftover = bandwidth * (0.1 if high > 0 else 1.0)
-                    bulk = total - high
-                    share = leftover / max(1, bulk)
-                rate = min(rate, share)
-            transfer.current_rate = rate
+        high_share: Dict[str, float] = {}
+        bulk_share: Dict[str, float] = {}
+        for node, total in per_node_total.items():
+            bandwidth = self._node_bandwidth[node]
+            high = per_node_high.get(node, 0)
+            high_share[node] = bandwidth / max(1, high)
+            # Bulk transfers share the bandwidth left over after the
+            # high-priority class; we conservatively give the high class
+            # 90% of the node while it is active.
+            leftover = bandwidth * (0.1 if high > 0 else 1.0)
+            bulk_share[node] = leftover / max(1, total - high)
 
-        # Reschedule completion events.
-        now = self._loop.now
-        for transfer in self._active.values():
-            if transfer._completion_event is not None:
-                transfer._completion_event.cancel()
-                transfer._completion_event = None
-            if transfer.current_rate <= 0:
+        # Pick the transfer that completes earliest under the new rates and
+        # keep a single completion event for it.  Ties resolve to the first
+        # transfer in insertion order, matching the seq tie-break the heap
+        # applied when every transfer carried its own event.
+        next_transfer: Optional[Transfer] = None
+        next_eta = 0.0
+        for transfer in active:
+            share = high_share if transfer.priority == activation else bulk_share
+            src_share = share[transfer.src]
+            dst_share = share[transfer.dst]
+            rate = src_share if src_share <= dst_share else dst_share
+            transfer.current_rate = rate
+            if rate <= 0:
                 continue
-            eta = transfer.remaining_bytes / transfer.current_rate
-            transfer._completion_event = self._loop.schedule(
-                eta,
-                lambda t=transfer: self._maybe_complete(t),
-                name=f"xfer-{transfer.transfer_id}",
+            eta = transfer.remaining_bytes / rate
+            if next_transfer is None or eta < next_eta:
+                next_transfer = transfer
+                next_eta = eta
+
+        if self._next_completion is not None:
+            self._next_completion.cancel()
+            self._next_completion = None
+        if next_transfer is not None:
+            self._next_completion = self._loop.schedule(
+                next_eta,
+                lambda t=next_transfer: self._maybe_complete(t),
+                name=f"xfer-{next_transfer.transfer_id}",
             )
 
     def _maybe_complete(self, transfer: Transfer) -> None:
+        self._next_completion = None
         if transfer.transfer_id not in self._active:
+            # Stale event (the transfer was cancelled); re-arm the chain for
+            # the remaining transfers.
+            self._recompute_rates()
             return
         self._advance_progress()
-        if transfer.remaining_bytes > 1e-6:
-            # Rates changed since this event was scheduled; recompute will
-            # have scheduled a fresh completion event already.
+        remaining = transfer.remaining_bytes
+        rate = transfer.current_rate
+        now = self._loop.now
+        if remaining > 1e-6 and rate > 0 and now + remaining / rate > now:
+            # Floating-point residue the advance underestimated, and the
+            # clock can still make progress on it: re-arm with a fresh
+            # (tiny) completion event instead of finishing early.
+            self._recompute_rates()
             return
+        # Done — or a sub-ulp residue that could never advance the clock.
         del self._active[transfer.transfer_id]
         self._finish(transfer)
         self._recompute_rates()

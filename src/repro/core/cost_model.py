@@ -65,8 +65,14 @@ def _chunk_features(prefix_tokens: float, chunk_tokens: float) -> np.ndarray:
 class BatchCostModel:
     """Eq. 1–3 cost model with fitted parameters."""
 
+    #: chunk_cost memo entries kept before the cache is reset (the lookahead
+    #: splitter evaluates the same (prefix, tokens) pairs many times while
+    #: binary-searching split points).
+    _CACHE_LIMIT = 65536
+
     def __init__(self, params: CostModelParams) -> None:
         self.params = params
+        self._chunk_cost_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Cost evaluation
@@ -75,9 +81,20 @@ class BatchCostModel:
         """Cost (seconds) of one chunk: Eq. 1."""
         if chunk_tokens <= 0:
             return 0.0
-        features = _chunk_features(prefix_tokens, chunk_tokens)
-        alpha, beta, gamma = self.params.alpha, self.params.beta, self.params.gamma
-        return float(alpha * features[0] + beta * features[1] + gamma * features[2])
+        key = (prefix_tokens, chunk_tokens)
+        cached = self._chunk_cost_cache.get(key)
+        if cached is not None:
+            return cached
+        # Scalar form of ``alpha . _chunk_features`` — the array allocation
+        # is too expensive for a function this hot.
+        attention = prefix_tokens * chunk_tokens + (chunk_tokens ** 2 + chunk_tokens) / 2.0
+        cost = float(
+            self.params.alpha * attention + self.params.beta * chunk_tokens + self.params.gamma
+        )
+        if len(self._chunk_cost_cache) >= self._CACHE_LIMIT:
+            self._chunk_cost_cache.clear()
+        self._chunk_cost_cache[key] = cost
+        return cost
 
     def chunk_cost_of(self, chunk: ScheduledChunk) -> float:
         return self.chunk_cost(chunk.prefix_tokens, chunk.new_tokens)

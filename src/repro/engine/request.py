@@ -35,9 +35,15 @@ class RequestState(enum.Enum):
     FINISHED = "finished"
 
 
-@dataclass
+@dataclass(eq=False)
 class Request:
     """One inference request.
+
+    Requests compare (and hash) by identity: every submitted request is a
+    distinct object, and the scheduler's queue-membership checks sit on the
+    simulation's hottest path, where a generated field-by-field ``__eq__``
+    (which would compare the ever-growing ``token_times`` list) dominates
+    the run time.
 
     Attributes:
         request_id: unique id (auto-assigned when negative).

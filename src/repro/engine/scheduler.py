@@ -84,6 +84,9 @@ class ContinuousBatchingScheduler:
         self.waiting: Deque[Request] = deque()
         self.running: List[Request] = []
         self.swapped: List[Request] = []
+        #: ids of requests in ``running`` — membership tests happen per
+        #: candidate per iteration, so they must be O(1), not list scans.
+        self._running_ids: set[int] = set()
         #: True when the last ``form_batch`` had to leave work unscheduled
         #: because of insufficient KV memory (overload signal).
         self.memory_blocked: bool = False
@@ -108,14 +111,13 @@ class ContinuousBatchingScheduler:
         if kv_tokens > 0:
             self.kv.allocate(request.request_id, kv_tokens)
         request.state = RequestState.RUNNING
-        self.running.append(request)
+        self._add_running(request)
 
     def remove_request(self, request: Request) -> int:
         """Remove a request from all queues; returns its freed KV tokens."""
         freed_tokens = self.kv.tokens_of(request.request_id)
         self.kv.free(request.request_id)
-        if request in self.running:
-            self.running.remove(request)
+        self._remove_running(request)
         if request in self.swapped:
             self.swapped.remove(request)
         try:
@@ -123,6 +125,19 @@ class ContinuousBatchingScheduler:
         except ValueError:
             pass
         return freed_tokens
+
+    def _add_running(self, request: Request) -> None:
+        self.running.append(request)
+        self._running_ids.add(request.request_id)
+
+    def _remove_running(self, request: Request) -> None:
+        if request.request_id in self._running_ids:
+            self.running.remove(request)
+            self._running_ids.discard(request.request_id)
+
+    def is_running(self, request: Request) -> bool:
+        """O(1) membership test against the running list."""
+        return request.request_id in self._running_ids
 
     # ------------------------------------------------------------------
     # Load queries (used by dispatcher / monitor)
@@ -203,11 +218,11 @@ class ContinuousBatchingScheduler:
         for request in candidates:
             if budget <= 0:
                 break
-            if request not in self.running:
+            if not self.is_running(request):
                 # Already evicted earlier in this pass to make room for a
                 # higher-priority request.
                 continue
-            if not self.kv.can_allocate(request.request_id, 1):
+            if self.kv.try_allocate(request.request_id, 1) is None:
                 if not self._make_room(request, 1, now):
                     # No lower-priority victim exists: the request itself is
                     # the lowest priority one, so it gets preempted (vLLM's
@@ -215,9 +230,9 @@ class ContinuousBatchingScheduler:
                     self.memory_blocked = True
                     self._preempt(request, now)
                     continue
-                if request not in self.running:
+                if not self.is_running(request):
                     continue
-            self.kv.allocate(request.request_id, 1)
+                self.kv.allocate(request.request_id, 1)
             batch.add(
                 ScheduledChunk(
                     request=request,
@@ -239,7 +254,7 @@ class ContinuousBatchingScheduler:
         for request in candidates:
             if budget <= 0:
                 break
-            if request not in self.running:
+            if not self.is_running(request):
                 continue
             chunk_tokens = min(budget, request.remaining_prefill_tokens)
             chunk_tokens = self._fit_to_memory(request, chunk_tokens)
@@ -270,7 +285,7 @@ class ContinuousBatchingScheduler:
                 break
             self.waiting.popleft()
             request.state = RequestState.RUNNING
-            self.running.append(request)
+            self._add_running(request)
             self.kv.allocate(request.request_id, chunk_tokens)
             batch.add(
                 ScheduledChunk(
@@ -321,10 +336,10 @@ class ContinuousBatchingScheduler:
         return max(candidates, key=lambda r: (r.arrival_time, r.request_id))
 
     def _preempt(self, victim: Request, now: float) -> None:
-        if victim not in self.running:
+        if not self.is_running(victim):
             return
         self.kv.free(victim.request_id)
-        self.running.remove(victim)
+        self._remove_running(victim)
         if self.config.preemption_mode == PreemptionMode.RECOMPUTE:
             victim.reset_for_recompute()
             self.waiting.appendleft(victim)
@@ -357,7 +372,7 @@ class ContinuousBatchingScheduler:
             self.kv.allocate(request.request_id, tokens)
             self.swapped.remove(request)
             request.state = RequestState.RUNNING
-            self.running.append(request)
+            self._add_running(request)
             if self.hooks.on_swap_in is not None:
                 self.hooks.on_swap_in(request)
 
@@ -367,6 +382,7 @@ class ContinuousBatchingScheduler:
     def complete_batch(self, batch: IterationBatch, end_time: float) -> List[Request]:
         """Apply the effects of an executed batch; returns finished requests."""
         finished: List[Request] = []
+        finished_ids: set[int] = set()
         for chunk in batch:
             request = chunk.request
             if chunk.is_decode:
@@ -375,12 +391,12 @@ class ContinuousBatchingScheduler:
                 request.record_prefill(chunk.new_tokens, end_time)
                 if request.prefill_done and request.output_tokens == 0:
                     request.record_output_token(end_time)
-            if request.finished and request not in finished:
+            if request.finished and request.request_id not in finished_ids:
                 finished.append(request)
+                finished_ids.add(request.request_id)
         for request in finished:
             self.kv.free(request.request_id)
-            if request in self.running:
-                self.running.remove(request)
+            self._remove_running(request)
         return finished
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

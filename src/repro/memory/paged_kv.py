@@ -42,6 +42,9 @@ class PagedKVCache:
         self._num_blocks = int(num_blocks)
         self._tables: Dict[int, BlockTable] = {}
         self._used_blocks = 0
+        # Running totals so capacity queries on the scheduling hot path are
+        # O(1) instead of per-request sums.
+        self._used_tokens = 0
 
     # ------------------------------------------------------------------
     # Capacity
@@ -64,7 +67,7 @@ class PagedKVCache:
 
     @property
     def used_tokens(self) -> int:
-        return sum(t.num_tokens for t in self._tables.values())
+        return self._used_tokens
 
     @property
     def utilization(self) -> float:
@@ -116,6 +119,21 @@ class PagedKVCache:
         """Would appending ``new_tokens`` tokens to the request succeed?"""
         return self._extra_blocks_needed(request_id, new_tokens) <= self.free_blocks
 
+    def try_allocate(self, request_id: int, new_tokens: int) -> Optional[int]:
+        """Allocate if possible; returns blocks allocated, or None if full.
+
+        Fused check-then-commit used by the per-decode-token scheduling path,
+        where calling :meth:`can_allocate` followed by :meth:`allocate` would
+        compute the block requirement twice.
+        """
+        if new_tokens < 0:
+            raise ValueError("new_tokens must be >= 0")
+        extra = self._extra_blocks_needed(request_id, new_tokens)
+        if extra > self.free_blocks:
+            return None
+        self._commit_allocation(request_id, extra, new_tokens)
+        return extra
+
     def allocate(self, request_id: int, new_tokens: int) -> int:
         """Append ``new_tokens`` tokens to the request's KV cache.
 
@@ -132,11 +150,16 @@ class PagedKVCache:
                 f"KV cache full: request {request_id} needs {extra} blocks, "
                 f"{self.free_blocks} free"
             )
-        table = self._tables.setdefault(request_id, BlockTable(request_id=request_id))
-        table.num_blocks += extra
-        table.num_tokens += new_tokens
-        self._used_blocks += extra
+        self._commit_allocation(request_id, extra, new_tokens)
         return extra
+
+    def _commit_allocation(self, request_id: int, extra_blocks: int, new_tokens: int) -> None:
+        """Apply an already-validated allocation to the bookkeeping."""
+        table = self._tables.setdefault(request_id, BlockTable(request_id=request_id))
+        table.num_blocks += extra_blocks
+        table.num_tokens += new_tokens
+        self._used_blocks += extra_blocks
+        self._used_tokens += new_tokens
 
     def free(self, request_id: int) -> int:
         """Release all blocks of a request; returns the blocks freed."""
@@ -144,6 +167,7 @@ class PagedKVCache:
         if table is None:
             return 0
         self._used_blocks -= table.num_blocks
+        self._used_tokens -= table.num_tokens
         return table.num_blocks
 
     def free_partial(self, request_id: int, keep_tokens: int) -> int:
@@ -160,6 +184,7 @@ class PagedKVCache:
         keep_tokens = min(keep_tokens, table.num_tokens)
         keep_blocks = self.blocks_for_tokens(keep_tokens)
         freed = table.num_blocks - keep_blocks
+        self._used_tokens -= table.num_tokens - keep_tokens
         table.num_blocks = keep_blocks
         table.num_tokens = keep_tokens
         self._used_blocks -= freed
@@ -172,9 +197,7 @@ class PagedKVCache:
 
     def fragmentation_tokens(self) -> int:
         """Tokens of capacity lost to partially-filled tail blocks."""
-        return sum(
-            t.num_blocks * self.block_size - t.num_tokens for t in self._tables.values()
-        )
+        return self._used_blocks * self.block_size - self._used_tokens
 
     def _extra_blocks_needed(self, request_id: int, new_tokens: int) -> int:
         table = self._tables.get(request_id)

@@ -14,7 +14,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class OverloadPolicy(abc.ABC):
     """How a serving system is laid out and reacts to memory overload.
 
-    A policy influences three layers:
+    **When selected:** never directly — this is the abstract contract.  A
+    concrete policy is chosen per experiment run (one fresh
+    :class:`~repro.serving.system.ClusterServingSystem` per policy), via
+    :func:`repro.policies.make_policy` or the experiment runners'
+    ``make_policies`` helper which yields the paper's five systems.
+
+    **What it models:** the *mechanism/policy split* of the serving stack.
+    The engine (scheduler, groups, KV cache, network) provides mechanisms;
+    the policy decides how the cluster uses them.  A policy influences
+    three layers:
 
     1. **Deployment** — :meth:`initial_groups` partitions the cluster's
        instances into serving groups and :meth:`initial_layer_assignment`

@@ -20,7 +20,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class KunServePolicy(OverloadPolicy):
-    """Parameter-centric memory management (the paper's system)."""
+    """Parameter-centric memory management (the paper's system).
+
+    **When selected:** the system under evaluation in every experiment;
+    ``make_policy("kunserve")``.  Figure 14's ablation rows are the same
+    policy with progressively enabled :class:`KunServeConfig` features.
+
+    **What it models:** instances deploy data-parallel like vLLM, but when
+    the monitor detects memory overload the attached
+    :class:`~repro.core.kunserve.KunServeController` *drops* duplicated
+    parameter replicas — merging groups into ad-hoc pipelines — and remaps
+    the freed memory as KV cache, so queued requests start immediately
+    instead of waiting for ongoing ones.  Ongoing requests keep serving
+    through a coordinated KV exchange; merged groups run with the
+    lookahead (cost-model balanced) microbatching; parameters are restored
+    and groups re-split once the burst passes.  Recompute preemption
+    remains only as the last resort when no drop plan is feasible.
+    """
 
     name = "KunServe"
 

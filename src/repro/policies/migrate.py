@@ -18,7 +18,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class LlumnixPolicy(OverloadPolicy):
-    """Data-parallel deployment with migration-based overload handling."""
+    """Data-parallel deployment with migration-based overload handling.
+
+    **When selected:** the request-migration baseline in Figures 12/13;
+    ``make_policy("llumnix")``.  Its least-loaded *dispatching* is adopted
+    by every evaluated system (it lives in the shared
+    :class:`~repro.serving.dispatcher.Dispatcher`); this policy adds the
+    reactive part.
+
+    **What it models:** on every monitor tick, groups whose KV demand
+    exceeds ``migrate_out_threshold`` of capacity live-migrate their most
+    recently arrived running requests (KV cache and all, over RDMA) to
+    groups below ``migrate_in_threshold``, defragmenting free memory across
+    the cluster.  Migration resolves local imbalance but is a zero-sum
+    move: during a cluster-wide burst every group is over the threshold
+    and there is nowhere to migrate to (§2.3, Figure 2e).
+    """
 
     name = "Llumnix"
 

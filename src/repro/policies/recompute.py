@@ -18,7 +18,21 @@ from repro.policies.base import OverloadPolicy
 
 
 class VLLMPolicy(OverloadPolicy):
-    """vLLM with recompute preemption; optionally static pipeline parallel."""
+    """vLLM with recompute preemption; optionally static pipeline parallel.
+
+    **When selected:** the baseline of every end-to-end comparison (Figures
+    2, 12, 13, 16, 17); ``make_policy("vllm")`` / ``make_policy("vllm-pp")``.
+
+    **What it models:** each instance serves independently (data parallel)
+    with vLLM's default overload reaction — when the KV cache is full the
+    latest-arrived running request is preempted, its KV discarded, and its
+    whole context recomputed when memory frees up.  With ``pp_degree > 1``
+    instances are statically fused into pipeline groups at deploy time
+    (vLLM (PP)): each stage holds ``1/pp_degree`` of the layers, which
+    permanently converts parameter memory into KV capacity but pays
+    pipeline bubbles even when the cluster is not overloaded — the
+    always-on version of the trade KunServe makes only under pressure.
+    """
 
     def __init__(self, pp_degree: int = 1) -> None:
         if pp_degree < 1:

@@ -14,7 +14,20 @@ from repro.policies.base import OverloadPolicy
 
 
 class InferCeptPolicy(OverloadPolicy):
-    """Data-parallel deployment with swap-based preemption."""
+    """Data-parallel deployment with swap-based preemption.
+
+    **When selected:** the KV-swapping baseline in Figures 12/13 and the
+    ablations; ``make_policy("infercept")``.
+
+    **What it models:** vLLM's layout with the preemption mode flipped to
+    SWAP — a full KV cache evicts the latest-arrived running request by
+    writing its cache to host DRAM over PCIe (a stall on the victim, plus
+    PCIe occupancy in the network fabric) and swaps it back in once free
+    blocks rise above ``swap_in_watermark`` of capacity.  Compared with
+    recompute it trades GPU FLOPs for PCIe bandwidth; compared with
+    KunServe it creates no *new* memory, so queueing delays under a
+    cluster-wide burst remain.
+    """
 
     name = "InferCept"
 

@@ -10,17 +10,20 @@ from __future__ import annotations
 
 
 class Clock:
-    """Monotonic simulation clock measured in seconds."""
+    """Monotonic simulation clock measured in seconds.
+
+    ``now`` is a plain attribute, not a property: it is read on every event
+    scheduled or executed, and the descriptor hop is measurable at that
+    frequency.  All writes funnel through :meth:`advance_to` / :meth:`reset`,
+    which enforce monotonicity.
+    """
+
+    __slots__ = ("now",)
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise ValueError(f"clock cannot start at negative time: {start}")
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
+        self.now: float = float(start)
 
     def advance_to(self, timestamp: float) -> None:
         """Move the clock forward to ``timestamp``.
@@ -28,18 +31,18 @@ class Clock:
         Raises:
             ValueError: if ``timestamp`` is earlier than the current time.
         """
-        if timestamp < self._now:
+        if timestamp < self.now:
             raise ValueError(
-                f"clock cannot move backwards: now={self._now:.6f}, "
+                f"clock cannot move backwards: now={self.now:.6f}, "
                 f"requested={timestamp:.6f}"
             )
-        self._now = float(timestamp)
+        self.now = float(timestamp)
 
     def reset(self, start: float = 0.0) -> None:
         """Reset the clock, e.g. between independent simulation runs."""
         if start < 0:
             raise ValueError(f"clock cannot start at negative time: {start}")
-        self._now = float(start)
+        self.now = float(start)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Clock(now={self._now:.6f})"
+        return f"Clock(now={self.now:.6f})"
