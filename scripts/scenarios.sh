@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Run the scenario sweep and write SCENARIO_results.json at the repository
+# root.  Extra arguments are forwarded to `python -m repro.scenarios`
+# (e.g. `scripts/scenarios.sh --scale full`, `scripts/scenarios.sh --list`,
+# `scripts/scenarios.sh --scenarios mmpp-bursty --policies vllm kunserve`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m repro.scenarios "$@"

@@ -17,6 +17,7 @@ Two knobs matter:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 from dataclasses import asdict, dataclass
@@ -41,6 +42,7 @@ from repro.experiments.runner import (
     build_system_config,
     make_policies,
 )
+from repro.scenarios.sweep import run_sweep
 from repro.serving.system import ClusterServingSystem
 from repro.simulation.event_loop import EventLoop
 from repro.version import __version__
@@ -147,6 +149,22 @@ def run_policy_benchmarks(
 # ----------------------------------------------------------------------
 # Experiment benchmarks: each paper figure/table at the requested scale
 # ----------------------------------------------------------------------
+def _scenario_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
+    """A small scenario-grid sweep so its cost is tracked across PRs.
+
+    Runs inline (``max_workers=1``) so the event-loop meter in this process
+    sees the simulated events; the parallel path is covered by
+    ``tests/test_scenarios.py`` and the ``repro.scenarios`` CLI.
+    """
+    return run_sweep(
+        scenarios=("steady-poisson", "spike-train"),
+        policies=("vllm", "kunserve"),
+        scale=dataclasses.replace(scale, name=f"scenarios-{scale.name}"),
+        seed=seed,
+        max_workers=1,
+    )
+
+
 #: id -> runner; every runner accepts the scale unless marked analytic.
 EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "figure2": lambda scale, seed: figure2.run_figure2(scale, seed=seed),
@@ -164,6 +182,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     ),
     "figure17": lambda scale, seed: figure17.run_figure17(scale, seed=seed),
     "table1": lambda scale, seed: table1.run_table1(),
+    "scenarios": _scenario_sweep_benchmark,
 }
 
 

@@ -35,9 +35,10 @@ Each entry (one benchmark measurement)::
     }
 
 Experiment ids are ``policy:<name>`` for the per-policy benchmarks (vllm,
-vllm-pp, infercept, llumnix, kunserve) and the module name (``figure2``,
+vllm-pp, infercept, llumnix, kunserve), the module name (``figure2``,
 ``figure5``, ``figure12``..``figure17``, ``table1``) for the figure/table
-experiments.
+experiments, and ``scenarios`` for the scenario-sweep timing row
+(a small ``repro.scenarios`` grid run inline so its cost is tracked).
 """
 
 from __future__ import annotations

@@ -1,0 +1,255 @@
+"""Synthetic arrival-trace and workload generators.
+
+The paper's evaluation replays one upscaled BurstGPT trace; this module
+opens the workload axis with parameterised synthetic processes so every
+overload policy can be stress-tested across qualitatively different load
+shapes:
+
+* :func:`poisson_trace` — homogeneous Poisson arrivals (the steady-state
+  control every queueing result assumes);
+* :func:`markov_modulated_trace` — a two-state Markov-modulated Poisson
+  process (calm/burst), the classic model for correlated bursty traffic;
+* :func:`diurnal_trace` — sinusoidally rate-modulated arrivals (day/night
+  load swing compressed into a simulable window);
+* :func:`spike_train_trace` — periodic short spikes on a low base rate
+  (cron-job and retry-storm traffic);
+* :func:`multi_tenant_trace` / :func:`multi_tenant_workload` — interleave
+  independent per-tenant traces (or full workloads with per-tenant
+  datasets) into one cluster-level arrival stream;
+* :func:`long_context_dataset` — a heavy-tailed prompt-length
+  :class:`~repro.workloads.datasets.DatasetSpec` for long-context skew
+  beyond LongBench.
+
+Every generator draws only from :class:`~repro.simulation.rng.SeededRNG`
+streams derived from the generator name, so traces are bit-reproducible
+for a given seed and independent of call order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+from repro.simulation.rng import SeededRNG
+from repro.workloads.datasets import DatasetSpec, build_workload
+from repro.workloads.trace import ArrivalTrace, Workload, merge_workloads
+
+
+def _thinning(
+    duration_s: float,
+    rate_fn: Callable[[float], float],
+    max_rate: float,
+    rng: SeededRNG,
+) -> List[float]:
+    """Lewis-Shedler thinning sampler for a bounded-rate Poisson process."""
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    if max_rate <= 0:
+        raise ValueError("max_rate must be positive")
+    timestamps: List[float] = []
+    time = 0.0
+    while True:
+        time += float(rng.exponential(1.0 / max_rate))
+        if time >= duration_s:
+            return timestamps
+        if float(rng.uniform()) * max_rate <= rate_fn(time):
+            timestamps.append(time)
+
+
+def poisson_trace(
+    *,
+    rate: float,
+    duration_s: float,
+    seed: int = 42,
+    name: str = "poisson",
+) -> ArrivalTrace:
+    """Homogeneous Poisson arrivals at ``rate`` requests/second."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = SeededRNG(seed, f"{name}-arrivals")
+    timestamps = _thinning(duration_s, lambda t: rate, rate, rng)
+    return ArrivalTrace(timestamps=timestamps, name=name)
+
+
+def markov_modulated_trace(
+    *,
+    base_rate: float,
+    burst_factor: float = 3.0,
+    mean_calm_s: float = 30.0,
+    mean_burst_s: float = 10.0,
+    duration_s: float = 120.0,
+    seed: int = 42,
+    name: str = "mmpp",
+) -> ArrivalTrace:
+    """Two-state Markov-modulated Poisson process (calm ↔ burst).
+
+    The process alternates between a calm state at ``base_rate`` and a
+    burst state at ``base_rate * burst_factor``; dwell times in each state
+    are exponential with the given means, so bursts arrive at random times
+    and last random durations — correlated burstiness a single replayed
+    spike cannot express.  State transitions and arrivals draw from
+    separate child RNG streams so each is stable in isolation.
+    """
+    if base_rate <= 0 or burst_factor <= 0:
+        raise ValueError("base_rate and burst_factor must be positive")
+    if mean_calm_s <= 0 or mean_burst_s <= 0:
+        raise ValueError("mean dwell times must be positive")
+    rng = SeededRNG(seed, f"{name}-arrivals")
+    state_rng = rng.child("states")
+    # Pre-compute the piecewise-constant rate segments for the whole window.
+    boundaries: List[Tuple[float, float]] = []  # (segment start, rate)
+    time = 0.0
+    bursting = False
+    while time < duration_s:
+        rate = base_rate * burst_factor if bursting else base_rate
+        boundaries.append((time, rate))
+        dwell = mean_burst_s if bursting else mean_calm_s
+        time += float(state_rng.exponential(dwell))
+        bursting = not bursting
+
+    def rate_at(t: float) -> float:
+        rate = boundaries[0][1]
+        for start, segment_rate in boundaries:
+            if start > t:
+                break
+            rate = segment_rate
+        return rate
+
+    max_rate = base_rate * max(burst_factor, 1.0)
+    timestamps = _thinning(duration_s, rate_at, max_rate, rng.child("thinning"))
+    return ArrivalTrace(timestamps=timestamps, name=name)
+
+
+def diurnal_trace(
+    *,
+    mean_rate: float,
+    amplitude: float = 0.6,
+    period_s: float = 60.0,
+    phase: float = -0.5 * math.pi,
+    duration_s: float = 120.0,
+    seed: int = 42,
+    name: str = "diurnal",
+) -> ArrivalTrace:
+    """Sinusoidal diurnal load: λ(t) = mean·(1 + amplitude·sin(2πt/period + phase)).
+
+    The default phase starts the window at the load trough, so a one-period
+    trace ramps up to a peak and back down — the day/night swing scaled to
+    simulation length.
+    """
+    if mean_rate <= 0:
+        raise ValueError("mean_rate must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    rng = SeededRNG(seed, f"{name}-arrivals")
+    two_pi = 2.0 * math.pi
+
+    def rate_at(t: float) -> float:
+        return mean_rate * (1.0 + amplitude * math.sin(two_pi * t / period_s + phase))
+
+    max_rate = mean_rate * (1.0 + amplitude)
+    timestamps = _thinning(duration_s, rate_at, max_rate, rng)
+    return ArrivalTrace(timestamps=timestamps, name=name)
+
+
+def spike_train_trace(
+    *,
+    base_rate: float,
+    spike_factor: float = 4.0,
+    spike_duration_s: float = 5.0,
+    spike_period_s: float = 20.0,
+    duration_s: float = 120.0,
+    seed: int = 42,
+    name: str = "spike-train",
+) -> ArrivalTrace:
+    """Periodic short spikes riding a low base rate.
+
+    Every ``spike_period_s`` the rate jumps to ``base_rate * spike_factor``
+    for ``spike_duration_s`` (first spike centred at half a period), the
+    shape of cron-driven batch submissions and client retry storms.
+    """
+    if base_rate <= 0 or spike_factor <= 0:
+        raise ValueError("base_rate and spike_factor must be positive")
+    if spike_duration_s <= 0 or spike_period_s <= 0:
+        raise ValueError("spike duration and period must be positive")
+    if spike_duration_s >= spike_period_s:
+        raise ValueError("spike_duration_s must be shorter than spike_period_s")
+    rng = SeededRNG(seed, f"{name}-arrivals")
+    first_start = 0.5 * spike_period_s
+
+    def rate_at(t: float) -> float:
+        offset = (t - first_start) % spike_period_s
+        if t >= first_start and offset < spike_duration_s:
+            return base_rate * spike_factor
+        return base_rate
+
+    max_rate = base_rate * max(spike_factor, 1.0)
+    timestamps = _thinning(duration_s, rate_at, max_rate, rng)
+    return ArrivalTrace(timestamps=timestamps, name=name)
+
+
+def multi_tenant_trace(
+    traces: Sequence[ArrivalTrace], name: str = "multi-tenant"
+) -> ArrivalTrace:
+    """Interleave independent per-tenant traces into one arrival stream."""
+    if not traces:
+        raise ValueError("at least one tenant trace is required")
+    timestamps: List[float] = []
+    for trace in traces:
+        timestamps.extend(trace.timestamps)
+    return ArrivalTrace(timestamps=timestamps, name=name)
+
+
+def multi_tenant_workload(
+    tenants: Sequence[Tuple[ArrivalTrace, DatasetSpec]],
+    *,
+    seed: int = 42,
+    name: str = "multi-tenant",
+) -> Workload:
+    """Interleave per-tenant (trace, dataset) pairs into one workload.
+
+    Each tenant keeps its own length distribution and SLO class, so the
+    merged stream mixes, e.g., short chat turns with long summarisation
+    prompts — the regime where one tenant's burst evicts another's KV.
+    """
+    if not tenants:
+        raise ValueError("at least one tenant is required")
+    workloads = [
+        build_workload(trace, dataset, seed=seed, name=f"{name}/{trace.name}")
+        for trace, dataset in tenants
+    ]
+    return merge_workloads(workloads, name=name)
+
+
+def long_context_dataset(
+    *,
+    mean_input_tokens: float = 9000.0,
+    mean_output_tokens: float = 400.0,
+    input_sigma: float = 1.15,
+    output_sigma: float = 0.8,
+    max_input_tokens: int = 32768,
+    max_output_tokens: int = 2048,
+    name: str = "LongContextSkew",
+) -> DatasetSpec:
+    """A heavy-tailed long-context length distribution.
+
+    Compared to LongBench (mean ~5.9k tokens, σ=0.7) this pushes both the
+    mean and the log-normal σ up, so a meaningful fraction of prompts land
+    near the 32k cap — the skew that makes per-request KV demand wildly
+    uneven and punishes policies that size decisions on averages.
+    """
+    return DatasetSpec(
+        name=name,
+        mean_input_tokens=mean_input_tokens,
+        mean_output_tokens=mean_output_tokens,
+        max_input_tokens=max_input_tokens,
+        max_output_tokens=max_output_tokens,
+        input_sigma=input_sigma,
+        output_sigma=output_sigma,
+        slo_class="summary",
+    )
+
+
+#: Default long-context-skew dataset used by the built-in scenario.
+LONG_CONTEXT_SKEW_DATASET = long_context_dataset()

@@ -1,0 +1,149 @@
+"""Stable schema of ``SCENARIO_results.json``.
+
+The scenario sweep runner emits one JSON document per run, mirroring the
+``BENCH_results.json`` contract (:mod:`repro.bench.schema`): keys may be
+*added* in later schema versions but the keys listed here are never renamed
+or removed, and ``tests/test_scenarios.py`` pins them.
+
+Determinism contract: for a fixed (scenarios, policies, scale, seed) the
+document is bit-identical across runs — including across parallel and
+sequential execution — *except* for the wall-clock keys listed in
+:data:`WALL_CLOCK_ENTRY_KEYS` / :data:`WALL_CLOCK_DOCUMENT_KEYS`; use
+:func:`strip_wall_clock` before comparing documents.
+
+Top-level document::
+
+    {
+      "schema_version": 1,        # int, bumped on any breaking change
+      "repro_version": "1.0.0",   # repro package version that produced it
+      "seed": int,                # sweep seed
+      "scale": {                  # ExperimentScale the sweep ran at
+        "name": str,
+        "num_instances": int,
+        "trace_duration_s": float,
+        "drain_timeout_s": float
+      },
+      "scenarios": [str, ...],    # scenario names swept, in order
+      "policies": [str, ...],     # policy keys swept, in order
+      "entries": [ScenarioEntry, ...],
+      "wall_s_total": float       # host wall-clock of the whole sweep
+    }
+
+Each entry (one scenario × policy cell)::
+
+    {
+      "scenario": str,            # registry name, e.g. "mmpp-bursty"
+      "policy": str,              # policy key, e.g. "kunserve"
+      "policy_name": str,         # display name, e.g. "KunServe"
+      "workload": str,            # materialised workload name
+      "requests": int,            # requests submitted
+      "finished": int,            # requests finished before the horizon
+      "completion_ratio": float,  # finished / requests
+      "ttft_p50": float, "ttft_p90": float, "ttft_p99": float,   # seconds
+      "tpot_p50": float, "tpot_p90": float, "tpot_p99": float,   # seconds
+      "throughput_tokens_per_s": float,
+      "slo_scale": float,         # scenario SLO factor (x best-policy P50)
+      "ttft_slo_s": float,        # absolute TTFT SLO derived for the cell
+      "tpot_slo_s": float,        # absolute TPOT SLO derived for the cell
+      "slo_violation_ratio": float,
+      "slo_attainment": float,    # 1 - slo_violation_ratio
+      "wall_s": float             # host wall-clock of this cell
+    }
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List
+
+#: Current schema version; bump only on breaking changes.
+SCHEMA_VERSION = 1
+
+#: Keys every top-level document must carry.
+DOCUMENT_KEYS = (
+    "schema_version",
+    "repro_version",
+    "seed",
+    "scale",
+    "scenarios",
+    "policies",
+    "entries",
+    "wall_s_total",
+)
+
+#: Keys every entry must carry (the stable contract).
+ENTRY_KEYS = (
+    "scenario",
+    "policy",
+    "policy_name",
+    "workload",
+    "requests",
+    "finished",
+    "completion_ratio",
+    "ttft_p50",
+    "ttft_p90",
+    "ttft_p99",
+    "tpot_p50",
+    "tpot_p90",
+    "tpot_p99",
+    "throughput_tokens_per_s",
+    "slo_scale",
+    "ttft_slo_s",
+    "tpot_slo_s",
+    "slo_violation_ratio",
+    "slo_attainment",
+    "wall_s",
+)
+
+#: Keys of the scale block (same as the bench schema's).
+SCALE_KEYS = ("name", "num_instances", "trace_duration_s", "drain_timeout_s")
+
+#: Entry keys carrying host wall-clock (excluded from determinism checks).
+WALL_CLOCK_ENTRY_KEYS = ("wall_s",)
+
+#: Document keys carrying host wall-clock (excluded from determinism checks).
+WALL_CLOCK_DOCUMENT_KEYS = ("wall_s_total",)
+
+
+def strip_wall_clock(document: Dict) -> Dict:
+    """A deep copy of ``document`` with every wall-clock key removed.
+
+    Two sweeps of the same grid and seed must compare equal after this.
+    """
+    stripped = copy.deepcopy(document)
+    for key in WALL_CLOCK_DOCUMENT_KEYS:
+        stripped.pop(key, None)
+    for entry in stripped.get("entries", []):
+        for key in WALL_CLOCK_ENTRY_KEYS:
+            entry.pop(key, None)
+    return stripped
+
+
+def validate_document(document: Dict) -> List[str]:
+    """Return a list of schema violations (empty when the document is valid)."""
+    problems: List[str] = []
+    for key in DOCUMENT_KEYS:
+        if key not in document:
+            problems.append(f"missing top-level key {key!r}")
+    if document.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {document.get('schema_version')!r}, expected {SCHEMA_VERSION}"
+        )
+    for key in SCALE_KEYS:
+        if key not in document.get("scale", {}):
+            problems.append(f"missing scale key {key!r}")
+    for key in ("scenarios", "policies"):
+        if key in document and not isinstance(document[key], list):
+            problems.append(f"{key} must be a list")
+    entries = document.get("entries", [])
+    if not isinstance(entries, list):
+        problems.append("entries must be a list")
+        entries = []
+    for index, entry in enumerate(entries):
+        for key in ENTRY_KEYS:
+            if key not in entry:
+                problems.append(
+                    f"entry {index} ({entry.get('scenario')!r} x {entry.get('policy')!r}) "
+                    f"missing {key!r}"
+                )
+    return problems

@@ -1,0 +1,300 @@
+"""Parallel scenario × policy sweep runner.
+
+Runs a grid of registered scenarios against a set of overload policies and
+aggregates per-cell TTFT/TPOT percentiles, throughput and SLO attainment
+into a stable-schema ``SCENARIO_results.json`` document
+(:mod:`repro.scenarios.schema`).
+
+The simulator is single-threaded and CPU-bound, so the sweep fans cells
+out across worker *processes* (``concurrent.futures.ProcessPoolExecutor``)
+— each cell builds its own :class:`~repro.serving.ClusterServingSystem`
+from scratch in the worker, so cells share no state and the grid scales
+with cores.  Workers receive the :class:`ScenarioSpec` itself (not just a
+name), so scenarios registered at run time survive ``spawn``/``forkserver``
+start methods too — provided their workload factory is a module-level
+function the worker can unpickle, which every built-in is.
+
+Determinism: every cell is seeded independently of execution order, and
+results are assembled in grid order, so the emitted document is
+bit-identical across runs and across parallel vs. sequential execution —
+except for the wall-clock fields (see
+:func:`repro.scenarios.schema.strip_wall_clock`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.runner import ExperimentScale
+from repro.cluster.specs import cluster_a_spec, cluster_b_spec
+from repro.policies import make_policy
+from repro.scenarios.registry import ScenarioSpec, get_scenario, list_scenarios
+from repro.scenarios.schema import SCHEMA_VERSION
+from repro.serving.config import ServingConfig
+from repro.serving.system import ClusterServingSystem
+from repro.version import __version__
+from repro.workloads.slo import baseline_p50, slo_violation_ratio
+
+#: Default sweep scales; ``quick`` is the one the CLI acceptance run uses.
+QUICK_SWEEP_SCALE = ExperimentScale(
+    name="scenarios-quick",
+    num_instances=2,
+    trace_duration_s=30.0,
+    drain_timeout_s=30.0,
+)
+
+FULL_SWEEP_SCALE = ExperimentScale(
+    name="scenarios-full",
+    num_instances=4,
+    trace_duration_s=90.0,
+    drain_timeout_s=90.0,
+)
+
+SWEEP_SCALES: Dict[str, ExperimentScale] = {
+    "quick": QUICK_SWEEP_SCALE,
+    "full": FULL_SWEEP_SCALE,
+}
+
+#: Default output location: the repository root, next to BENCH_results.json.
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "SCENARIO_results.json"
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Raw outcome of one scenario × policy cell, before SLO aggregation.
+
+    ``latencies`` holds one ``(ttft, mean_tpot)`` pair per request (``None``
+    where a request never reached that milestone) so the aggregator can
+    derive cross-policy SLO baselines without shipping full records between
+    processes.
+    """
+
+    scenario: str
+    policy: str
+    policy_name: str
+    workload: str
+    requests: int
+    finished: int
+    completion_ratio: float
+    summary: Dict[str, float]
+    latencies: Tuple[Tuple[Optional[float], Optional[float]], ...]
+    wall_s: float
+
+
+def build_cell_config(
+    spec: ScenarioSpec, scale: ExperimentScale, *, seed: int = 42
+) -> ServingConfig:
+    """ServingConfig for one scenario at one scale (cluster A for 1-GPU
+    instances, cluster B for multi-GPU instances, mirroring the presets)."""
+    if spec.gpus_per_instance > 1:
+        instances_per_server = max(1, 8 // spec.gpus_per_instance)
+        servers = max(1, -(-scale.num_instances // instances_per_server))
+        cluster = cluster_b_spec(num_servers=servers)
+    else:
+        cluster = cluster_a_spec(num_servers=scale.num_instances)
+    return ServingConfig(
+        model=spec.model,
+        cluster=cluster,
+        gpus_per_instance=spec.gpus_per_instance,
+        token_budget=spec.token_budget,
+        drain_timeout_s=scale.drain_timeout_s,
+        seed=seed,
+    )
+
+
+def run_cell(
+    scenario: Union[str, ScenarioSpec],
+    policy_key: str,
+    scale: ExperimentScale,
+    seed: int = 42,
+) -> CellResult:
+    """Run one scenario under one policy; the unit of parallel work.
+
+    Top-level and picklable-argument by design: ``ProcessPoolExecutor``
+    workers call exactly this.  Accepts the spec itself (what the sweep
+    sends, so run-time registrations work under any start method) or a
+    registry name.
+    """
+    spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
+    workload = spec.build_workload(scale, seed)
+    policy = make_policy(policy_key)
+    config = build_cell_config(spec, scale, seed=seed)
+    start = time.perf_counter()
+    system = ClusterServingSystem(config, policy)
+    result = system.run(workload)
+    wall_s = time.perf_counter() - start
+    return CellResult(
+        scenario=spec.name,
+        policy=policy_key,
+        policy_name=policy.name,
+        workload=workload.name,
+        requests=result.submitted_requests,
+        finished=result.finished_requests,
+        completion_ratio=result.completion_ratio,
+        summary=result.summary,
+        latencies=tuple((r.ttft, r.mean_tpot) for r in result.records),
+        wall_s=wall_s,
+    )
+
+
+def _run_cell_star(args: Tuple[ScenarioSpec, str, ExperimentScale, int]) -> CellResult:
+    """Unpack helper for ``ProcessPoolExecutor.map``."""
+    return run_cell(*args)
+
+
+class _LatencyRecord:
+    """Adapter exposing the two attributes the SLO accounting reads."""
+
+    __slots__ = ("ttft", "mean_tpot")
+
+    def __init__(self, ttft: Optional[float], mean_tpot: Optional[float]) -> None:
+        self.ttft = ttft
+        self.mean_tpot = mean_tpot
+
+
+def _scenario_entries(spec: ScenarioSpec, cells: Sequence[CellResult]) -> List[Dict]:
+    """Turn one scenario's cells into schema entries with derived SLOs.
+
+    Following the paper's Figure 13 convention, the SLO reference point is
+    the best policy's P50 (TTFT and TPOT independently) *within this
+    scenario*, scaled by the scenario's ``slo_scale``.
+    """
+    records_by_policy = {
+        cell.policy: [_LatencyRecord(t, p) for t, p in cell.latencies] for cell in cells
+    }
+    best_ttft, best_tpot = baseline_p50(records_by_policy)
+    ttft_slo_s = spec.slo_scale * best_ttft
+    tpot_slo_s = spec.slo_scale * best_tpot
+    entries = []
+    for cell in cells:
+        violation = slo_violation_ratio(
+            records_by_policy[cell.policy], ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s
+        )
+        entries.append(
+            {
+                "scenario": cell.scenario,
+                "policy": cell.policy,
+                "policy_name": cell.policy_name,
+                "workload": cell.workload,
+                "requests": cell.requests,
+                "finished": cell.finished,
+                "completion_ratio": cell.completion_ratio,
+                "ttft_p50": cell.summary["ttft_p50"],
+                "ttft_p90": cell.summary["ttft_p90"],
+                "ttft_p99": cell.summary["ttft_p99"],
+                "tpot_p50": cell.summary["tpot_p50"],
+                "tpot_p90": cell.summary["tpot_p90"],
+                "tpot_p99": cell.summary["tpot_p99"],
+                "throughput_tokens_per_s": cell.summary["throughput_tokens_per_s"],
+                "slo_scale": spec.slo_scale,
+                "ttft_slo_s": ttft_slo_s,
+                "tpot_slo_s": tpot_slo_s,
+                "slo_violation_ratio": violation,
+                "slo_attainment": 1.0 - violation,
+                "wall_s": cell.wall_s,
+            }
+        )
+    return entries
+
+
+def run_sweep(
+    *,
+    scenarios: Optional[Sequence[str]] = None,
+    policies: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = QUICK_SWEEP_SCALE,
+    seed: int = 42,
+    max_workers: Optional[int] = None,
+) -> Dict:
+    """Sweep the scenario × policy grid; return the results document.
+
+    Args:
+        scenarios: scenario names (default: every registered scenario).
+        policies: policy keys (``repro.policies.make_policy``) applied to
+            every scenario; ``None`` sweeps each scenario under its own
+            ``ScenarioSpec.policies`` set.
+        scale: cluster size / trace length of every cell.
+        seed: sweep seed; every cell derives its randomness from it.
+        max_workers: worker processes; ``1`` runs cells inline (no pool),
+            ``None`` sizes the pool to the grid (capped by the scheduler).
+    """
+    names = list(scenarios) if scenarios is not None else list_scenarios()
+    unknown = [n for n in names if n not in list_scenarios()]
+    if unknown:
+        raise KeyError(f"unknown scenarios {unknown}; known: {', '.join(list_scenarios())}")
+    if not names or (policies is not None and not policies):
+        raise ValueError("sweep needs at least one scenario and one policy")
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    specs = [get_scenario(name) for name in names]
+    grid = [
+        (spec, policy, scale, seed)
+        for spec in specs
+        for policy in (policies if policies is not None else spec.policies)
+    ]
+    # Union of swept policy keys, first-seen order (for the document header).
+    policy_list = list(dict.fromkeys(task[1] for task in grid))
+
+    start = time.perf_counter()
+    if max_workers == 1:
+        cells = [run_cell(*task) for task in grid]
+    else:
+        workers = min(max_workers or len(grid), len(grid))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            cells = list(pool.map(_run_cell_star, grid))
+    wall_s_total = time.perf_counter() - start
+
+    by_scenario: Dict[str, List[CellResult]] = {name: [] for name in names}
+    for cell in cells:
+        by_scenario[cell.scenario].append(cell)
+    entries: List[Dict] = []
+    for spec in specs:
+        entries.extend(_scenario_entries(spec, by_scenario[spec.name]))
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "repro_version": __version__,
+        "seed": seed,
+        "scale": {
+            "name": scale.name,
+            "num_instances": scale.num_instances,
+            "trace_duration_s": scale.trace_duration_s,
+            "drain_timeout_s": scale.drain_timeout_s,
+        },
+        "scenarios": names,
+        "policies": policy_list,
+        "entries": entries,
+        "wall_s_total": wall_s_total,
+    }
+
+
+def write_results(document: Dict, path: Optional[Path] = None) -> Path:
+    """Write the document to ``SCENARIO_results.json`` (repo root by default)."""
+    target = Path(path) if path is not None else DEFAULT_OUTPUT
+    target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def format_results(document: Dict) -> str:
+    """Human-readable table of a sweep document."""
+    scale = document["scale"]
+    lines = [
+        f"repro {document['repro_version']} · scale {scale['name']} "
+        f"({scale['num_instances']} instances, {scale['trace_duration_s']:.0f}s trace) "
+        f"· seed {document['seed']} · {len(document['scenarios'])} scenarios x "
+        f"{len(document['policies'])} policies in {document['wall_s_total']:.1f}s",
+        f"{'scenario':<18} {'policy':<12} {'reqs':>6} {'fin':>6} "
+        f"{'ttft_p50':>9} {'tpot_p50':>9} {'tok/s':>8} {'slo_att':>8}",
+    ]
+    for entry in document["entries"]:
+        lines.append(
+            f"{entry['scenario']:<18} {entry['policy']:<12} "
+            f"{entry['requests']:>6d} {entry['finished']:>6d} "
+            f"{entry['ttft_p50']:>9.3f} {entry['tpot_p50']:>9.4f} "
+            f"{entry['throughput_tokens_per_s']:>8.0f} {entry['slo_attainment']:>8.2f}"
+        )
+    return "\n".join(lines)

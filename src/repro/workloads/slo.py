@@ -36,8 +36,12 @@ class SLOResult:
         return self.violations / self.total
 
 
-def _baseline_p50(records_by_system: Dict[str, Sequence[RequestRecord]]) -> tuple:
-    """P50 TTFT / TPOT of the best system (the SLO reference point)."""
+def baseline_p50(records_by_system: Dict[str, Sequence[RequestRecord]]) -> tuple:
+    """P50 TTFT / TPOT of the best system (the SLO reference point).
+
+    Accepts any records exposing ``ttft`` and ``mean_tpot`` attributes;
+    systems with no data fall back to a 0.0 baseline.
+    """
     best_ttft = float("inf")
     best_tpot = float("inf")
     for records in records_by_system.values():
@@ -81,7 +85,7 @@ def slo_violation_curve(
     The SLO reference (P50 of the best system) is computed across all the
     given systems, exactly as the paper does.
     """
-    base_ttft, base_tpot = _baseline_p50(records_by_system)
+    base_ttft, base_tpot = baseline_p50(records_by_system)
     results: List[SLOResult] = []
     for system, records in records_by_system.items():
         for scale in scales:

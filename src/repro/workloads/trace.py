@@ -37,9 +37,17 @@ class ArrivalTrace:
 
     @property
     def average_rate(self) -> float:
-        """Mean requests/second over the trace duration."""
-        if not self.timestamps or self.duration == 0:
+        """Mean requests/second over the trace duration.
+
+        Degenerate traces are well-defined: an empty trace has rate 0.0,
+        and a non-empty trace whose arrivals all land at t=0 (zero
+        duration) counts as a one-second burst — its rate equals its
+        arrival count — so rate-based rescaling never divides by zero.
+        """
+        if not self.timestamps:
             return 0.0
+        if self.duration <= 0.0:
+            return float(len(self.timestamps))
         return len(self.timestamps) / self.duration
 
     def rate_timeline(self, window_s: float = 5.0) -> List[tuple]:

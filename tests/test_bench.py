@@ -20,6 +20,7 @@ from repro.bench import (
     TINY_SCALE,
     format_results,
     run_benchmarks,
+    run_experiment_benchmark,
     run_policy_benchmark,
     validate_document,
     write_results,
@@ -85,6 +86,7 @@ class TestSchema:
             "figure16",
             "figure17",
             "table1",
+            "scenarios",
         }
 
 
@@ -121,6 +123,13 @@ class TestHarnessSmoke:
         text = format_results(document)
         assert "policy:KunServe" in text
         assert "table1" in text
+
+    def test_scenario_sweep_row_runs_tiny_grid(self):
+        entry = run_experiment_benchmark("scenarios", TINY_SCALE, seed=1)
+        assert entry.kind == "experiment"
+        assert entry.experiment == "scenarios"
+        assert entry.wall_s > 0
+        assert entry.events > 0  # runs inline, so the event meter sees it
 
     def test_unknown_experiment_is_rejected(self):
         with pytest.raises(KeyError):

@@ -36,6 +36,24 @@ class TestArrivalTrace:
         trace = ArrivalTrace(timestamps=[i * 0.5 for i in range(1, 21)])
         assert trace.average_rate == pytest.approx(2.0)
 
+    def test_average_rate_degenerate_traces(self):
+        # Empty trace: no arrivals, rate 0.
+        assert ArrivalTrace(timestamps=[]).average_rate == 0.0
+        # All arrivals at t=0 (zero duration): treated as a one-second
+        # burst, so the rate is the arrival count, never a 0/0.
+        assert ArrivalTrace(timestamps=[0.0]).average_rate == 1.0
+        assert ArrivalTrace(timestamps=[0.0, 0.0, 0.0]).average_rate == 3.0
+        # A single late arrival keeps the duration-from-zero convention.
+        assert ArrivalTrace(timestamps=[2.0]).average_rate == pytest.approx(0.5)
+
+    def test_zero_duration_trace_can_be_rescaled(self):
+        trace = ArrivalTrace(timestamps=[0.0] * 10)
+        scaled = scale_to_average_rate(trace, 5.0, seed=1)
+        # Downscaled by 0.5 in expectation; only emptiness raises.
+        assert 0 <= len(scaled) <= 10
+        with pytest.raises(ValueError):
+            scale_to_average_rate(ArrivalTrace(timestamps=[]), 5.0)
+
     def test_rate_timeline(self):
         trace = ArrivalTrace(timestamps=[0.1, 0.2, 5.5])
         timeline = trace.rate_timeline(window_s=5.0)
