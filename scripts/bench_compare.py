@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two ``BENCH_results.json`` files and flag wall-clock regressions.
+
+Makes the benchmark trajectory actionable: run ``scripts/bench.sh`` before
+and after a change, then
+
+    python scripts/bench_compare.py BASELINE.json CURRENT.json
+
+prints a per-entry wall-clock diff and exits non-zero when any matched
+entry regressed by more than ``--threshold`` percent (default 25%).
+Entries are matched by their ``(experiment, policy)`` identity; entries
+present on only one side are reported but never fail the comparison (new
+benchmarks appear, old ones retire).  Stdlib-only on purpose, so it runs
+anywhere a checkout exists (CI included) without ``PYTHONPATH`` setup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: A regression smaller than this many wall-clock seconds is ignored even if
+#: it exceeds the percentage threshold: tiny entries (a few ms) jitter far
+#: more than they inform.
+MIN_ABS_REGRESSION_S = 0.05
+
+
+def load_entries(path: Path) -> Dict[Tuple[str, str], dict]:
+    """Index a BENCH_results.json document's entries by identity."""
+    document = json.loads(path.read_text())
+    entries = {}
+    for entry in document.get("entries", []):
+        key = (str(entry.get("experiment")), str(entry.get("policy") or "-"))
+        entries[key] = entry
+    return entries
+
+
+def compare(
+    baseline: Dict[Tuple[str, str], dict],
+    current: Dict[Tuple[str, str], dict],
+    threshold_pct: float,
+    min_abs_s: float = MIN_ABS_REGRESSION_S,
+) -> Tuple[List[str], List[str]]:
+    """Return (report lines, regression lines) for the two entry sets."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    header = f"{'experiment':<20} {'policy':<12} {'base_s':>8} {'curr_s':>8} {'delta':>8}"
+    lines.append(header)
+    for key in sorted(set(baseline) | set(current)):
+        experiment, policy = key
+        base = baseline.get(key)
+        curr = current.get(key)
+        if base is None:
+            lines.append(f"{experiment:<20} {policy:<12} {'-':>8} {curr['wall_s']:>8.2f}    (new)")
+            continue
+        if curr is None:
+            lines.append(f"{experiment:<20} {policy:<12} {base['wall_s']:>8.2f} {'-':>8}    (gone)")
+            continue
+        base_s = float(base["wall_s"])
+        curr_s = float(curr["wall_s"])
+        delta_pct = 100.0 * (curr_s - base_s) / base_s if base_s > 0 else 0.0
+        marker = ""
+        if delta_pct > threshold_pct and (curr_s - base_s) > min_abs_s:
+            marker = "  REGRESSION"
+            regressions.append(
+                f"{experiment} ({policy}): {base_s:.2f}s -> {curr_s:.2f}s "
+                f"(+{delta_pct:.0f}% > {threshold_pct:.0f}%)"
+            )
+        lines.append(
+            f"{experiment:<20} {policy:<12} {base_s:>8.2f} {curr_s:>8.2f} "
+            f"{delta_pct:>+7.1f}%{marker}"
+        )
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_results.json files; exit 1 on wall-clock "
+        "regressions beyond the threshold."
+    )
+    parser.add_argument("baseline", type=Path, help="baseline BENCH_results.json")
+    parser.add_argument("current", type=Path, help="current BENCH_results.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="max tolerated per-entry wall-clock regression in percent "
+        "(default: 25)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    try:
+        baseline = load_entries(args.baseline)
+        current = load_entries(args.current)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    lines, regressions = compare(baseline, current, args.threshold)
+    print("\n".join(lines))
+    if regressions:
+        print(
+            f"\n{len(regressions)} wall-clock regression(s) beyond "
+            f"{args.threshold:.0f}%:",
+            *regressions,
+            sep="\n  ",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nno wall-clock regressions beyond {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

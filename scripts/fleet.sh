@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Run the elastic-fleet sweep and write FLEET_results.json at the repository
+# root.  Extra arguments are forwarded to `python -m repro.fleet`
+# (e.g. `scripts/fleet.sh --scale full`, `scripts/fleet.sh --list-routers`,
+# `scripts/fleet.sh --scenarios mmpp-bursty --routers least_loaded session_affinity`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m repro.fleet "$@"

@@ -42,6 +42,7 @@ from repro.experiments.runner import (
     build_system_config,
     make_policies,
 )
+from repro.fleet.sweep import run_fleet_sweep
 from repro.scenarios.sweep import run_sweep
 from repro.serving.system import ClusterServingSystem
 from repro.simulation.event_loop import EventLoop
@@ -165,6 +166,24 @@ def _scenario_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
     )
 
 
+def _fleet_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
+    """A small fleet-grid sweep so its cost is tracked across PRs.
+
+    Runs inline (``max_workers=1``) so the event-loop meter in this process
+    sees the simulated events; the parallel path is covered by
+    ``tests/test_fleet.py`` and the ``repro.fleet`` CLI.
+    """
+    return run_fleet_sweep(
+        scenarios=("steady-poisson",),
+        policies=("vllm",),
+        routers=("least_loaded", "power_of_two_choices"),
+        autoscalers=("fixed", "elastic"),
+        scale=dataclasses.replace(scale, name=f"fleet-{scale.name}"),
+        seed=seed,
+        max_workers=1,
+    )
+
+
 #: id -> runner; every runner accepts the scale unless marked analytic.
 EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "figure2": lambda scale, seed: figure2.run_figure2(scale, seed=seed),
@@ -183,6 +202,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "figure17": lambda scale, seed: figure17.run_figure17(scale, seed=seed),
     "table1": lambda scale, seed: table1.run_table1(),
     "scenarios": _scenario_sweep_benchmark,
+    "fleet": _fleet_sweep_benchmark,
 }
 
 

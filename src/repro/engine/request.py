@@ -52,7 +52,10 @@ class Request:
         max_output_tokens: output length (the simulation knows it upfront;
             the scheduler does not use it for admission decisions, matching
             real systems where output length is unknown).
-        slo_class: label used by SLO accounting ("chat" or "summary").
+        slo_class: label used by SLO accounting ("chat" or "summary");
+            doubles as the tenant key for fleet admission control.
+        session_id: optional sticky-session key; the fleet layer's
+            session-affinity router maps equal keys to the same group.
     """
 
     arrival_time: float
@@ -60,6 +63,7 @@ class Request:
     max_output_tokens: int
     request_id: int = -1
     slo_class: str = "chat"
+    session_id: Optional[str] = None
 
     # --- dynamic state ------------------------------------------------
     state: RequestState = RequestState.QUEUED

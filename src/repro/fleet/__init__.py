@@ -1,0 +1,82 @@
+"""Elastic fleet layer (``python -m repro.fleet``).
+
+Makes the fleet itself a simulated, policy-driven object in front of the
+paper's memory-overload policies: a pluggable router registry
+(:mod:`repro.fleet.routing`), an admission controller with bounded
+queues, SLO-aware shedding and per-tenant fairness
+(:mod:`repro.fleet.admission`), and an autoscaler that grows/drains
+serving groups from spare cluster capacity with realistic cold-start
+delays (:mod:`repro.fleet.autoscaler`) — all composed by
+:class:`~repro.fleet.controller.FleetController` and driven through the
+deterministic event loop.  The sweep runner
+(:mod:`repro.fleet.sweep`) replays scenarios across the router ×
+autoscaler grid and emits a stable-schema ``FLEET_results.json``.
+
+Note: :mod:`repro.fleet.sweep` is intentionally *not* imported here — it
+pulls in :mod:`repro.serving`, which itself resolves routers from this
+package; import it directly where needed.
+"""
+
+from repro.fleet.admission import AdmissionController
+from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.config import (
+    AUTOSCALER_PRESETS,
+    AdmissionConfig,
+    AutoscalerConfig,
+    FleetConfig,
+    fleet_preset,
+    list_autoscaler_presets,
+    make_fleet_config,
+)
+from repro.fleet.controller import FleetController
+from repro.fleet.routing import (
+    LeastLoadedRouter,
+    MemoryHeadroomRouter,
+    PowerOfTwoChoicesRouter,
+    RoundRobinRouter,
+    Router,
+    SessionAffinityRouter,
+    list_routers,
+    make_router,
+    register_router,
+)
+from repro.fleet.schema import (
+    DOCUMENT_KEYS,
+    ENTRY_KEYS,
+    SCALE_KEYS,
+    SCHEMA_VERSION,
+    WALL_CLOCK_DOCUMENT_KEYS,
+    WALL_CLOCK_ENTRY_KEYS,
+    strip_wall_clock,
+    validate_document,
+)
+
+__all__ = [
+    "AUTOSCALER_PRESETS",
+    "AdmissionConfig",
+    "AdmissionController",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "DOCUMENT_KEYS",
+    "ENTRY_KEYS",
+    "FleetConfig",
+    "FleetController",
+    "LeastLoadedRouter",
+    "MemoryHeadroomRouter",
+    "PowerOfTwoChoicesRouter",
+    "RoundRobinRouter",
+    "Router",
+    "SCALE_KEYS",
+    "SCHEMA_VERSION",
+    "SessionAffinityRouter",
+    "WALL_CLOCK_DOCUMENT_KEYS",
+    "WALL_CLOCK_ENTRY_KEYS",
+    "fleet_preset",
+    "list_autoscaler_presets",
+    "list_routers",
+    "make_fleet_config",
+    "make_router",
+    "register_router",
+    "strip_wall_clock",
+    "validate_document",
+]

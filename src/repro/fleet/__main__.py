@@ -1,0 +1,153 @@
+"""CLI entry point: ``python -m repro.fleet``.
+
+Sweeps a scenario across router strategies × autoscaler presets (the
+elastic-fleet grid) and writes ``FLEET_results.json`` to the repository
+root (see ``--output``).  ``--list-routers`` / ``--list-autoscalers``
+show the registries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.fleet.config import AUTOSCALER_PRESETS, list_autoscaler_presets
+from repro.fleet.routing import list_routers
+from repro.fleet.schema import validate_document
+from repro.fleet.sweep import (
+    DEFAULT_POLICIES,
+    DEFAULT_SCENARIOS,
+    FLEET_SCALES,
+    format_results,
+    run_fleet_sweep,
+    write_results,
+)
+from repro.policies import make_policy
+from repro.scenarios.registry import list_scenarios
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Sweep scenarios across router strategies and autoscaler "
+        "presets in parallel and write FLEET_results.json.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(FLEET_SCALES),
+        default="quick",
+        help="sweep scale (default: quick)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help=f"scenarios to sweep (default: {' '.join(DEFAULT_SCENARIOS)})",
+    )
+    parser.add_argument(
+        "--policies",
+        nargs="*",
+        default=None,
+        metavar="POLICY",
+        help=f"overload-policy keys (default: {' '.join(DEFAULT_POLICIES)})",
+    )
+    parser.add_argument(
+        "--routers",
+        nargs="*",
+        default=None,
+        metavar="ROUTER",
+        help="router strategies (default: all registered)",
+    )
+    parser.add_argument(
+        "--autoscalers",
+        nargs="*",
+        default=None,
+        metavar="PRESET",
+        help="autoscaler presets (default: all presets)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="sweep seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: min(grid size, CPU count))",
+    )
+    parser.add_argument(
+        "--sequential",
+        action="store_true",
+        help="run every cell inline in this process (equivalent to --workers 1)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write FLEET_results.json (default: repository root)",
+    )
+    parser.add_argument(
+        "--list-routers", action="store_true", help="list router strategies and exit"
+    )
+    parser.add_argument(
+        "--list-autoscalers",
+        action="store_true",
+        help="list autoscaler presets and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_routers:
+        for name in list_routers():
+            print(name)
+        return 0
+    if args.list_autoscalers:
+        for name in list_autoscaler_presets():
+            preset = AUTOSCALER_PRESETS[name]
+            state = "elastic" if preset.enabled else "fixed fleet"
+            print(f"{name:<10} {state}")
+        return 0
+
+    try:
+        for policy in args.policies or ():
+            make_policy(policy)  # fail fast on typos before spawning workers
+        max_workers = 1 if args.sequential else args.workers
+        if max_workers is None:
+            try:
+                cpus = len(os.sched_getaffinity(0))
+            except AttributeError:  # pragma: no cover - non-Linux
+                cpus = os.cpu_count() or 1
+            names = args.scenarios or list(DEFAULT_SCENARIOS)
+            grid = (
+                len([n for n in names if n in list_scenarios()])
+                * len(args.policies or DEFAULT_POLICIES)
+                * len(args.routers if args.routers is not None else list_routers())
+                * len(
+                    args.autoscalers
+                    if args.autoscalers is not None
+                    else list_autoscaler_presets()
+                )
+            )
+            max_workers = max(1, min(grid, cpus))
+        document = run_fleet_sweep(
+            scenarios=args.scenarios,
+            policies=args.policies,
+            routers=args.routers,
+            autoscalers=args.autoscalers,
+            scale=FLEET_SCALES[args.scale],
+            seed=args.seed,
+            max_workers=max_workers,
+        )
+    except (KeyError, ValueError) as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    problems = validate_document(document)
+    if problems:
+        print("schema violations:", *problems, sep="\n  ", file=sys.stderr)
+        return 1
+    path = write_results(document, args.output)
+    print(format_results(document))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,233 @@
+"""Fleet-layer configuration: routing, admission control, autoscaling.
+
+These dataclasses are deliberately import-light (stdlib only) so they can
+be embedded in :class:`repro.serving.config.ServingConfig` and shipped to
+sweep worker processes without dragging the serving stack along.
+
+A :class:`FleetConfig` describes the elastic-fleet layer that sits *in
+front of* the memory-overload policies the paper studies: which router
+strategy dispatches requests (:mod:`repro.fleet.routing`), how the
+admission controller bounds queues and sheds load
+(:class:`AdmissionConfig`), and whether/how the autoscaler grows and
+shrinks the set of serving groups (:class:`AutoscalerConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission control: bounded queues, SLO-aware shedding, fairness.
+
+    The defaults are deliberately permissive (effectively pass-through) so
+    a fleet run with an untouched ``AdmissionConfig`` behaves like the
+    plain dispatcher; presets tighten them to study shedding.
+
+    Attributes:
+        max_queue_depth: per-tenant bound on the admission queue; an
+            arriving request is shed (rejected) when its tenant's queue is
+            full.  Tenants are keyed by the request's ``slo_class``.
+        max_group_waiting: a serving group stops *accepting* new requests
+            once its scheduler backlog reaches this many waiting requests;
+            arrivals then wait in the admission queue until a group frees
+            up (or are shed).
+        ttft_shed_s: SLO-aware shedding — a queued request that has
+            already waited this long is shed instead of dispatched (it
+            would violate its TTFT budget anyway and only add load).
+            ``None`` disables SLO shedding.
+    """
+
+    max_queue_depth: int = 100_000
+    max_group_waiting: int = 100_000
+    ttft_shed_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive")
+        if self.max_group_waiting <= 0:
+            raise ValueError("max_group_waiting must be positive")
+        if self.ttft_shed_s is not None and self.ttft_shed_s <= 0:
+            raise ValueError("ttft_shed_s must be positive when set")
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Elastic capacity: when to add or drain serving groups.
+
+    Scale-up fires when *any* trigger holds (queue depth per group, memory
+    pressure, or TTFT P99); a new group only starts serving after
+    ``cold_start_s`` simulated seconds (model-load time), so elasticity
+    has a realistic cost.  Scale-down requires ``scale_down_idle_ticks``
+    consecutive calm ticks, drains the youngest single-instance group
+    (stops routing to it, re-homes its queued requests) and retires it
+    once its last running request finishes.
+
+    Attributes:
+        enabled: whether the autoscaler acts at all (``False`` = fixed
+            fleet; the fleet tick still runs admission control).
+        reserve_instances: instances held back from the initial deployment
+            as spare capacity the autoscaler can activate (clamped so at
+            least one instance serves from the start).
+        min_groups: never drain below this many active groups.
+        max_groups: cap on active groups (``None`` = bounded only by
+            spare capacity).
+        scale_up_queue_depth: scale up when (admission queue + per-group
+            waiting) per active group reaches this.
+        scale_up_memory_ratio: scale up when cluster KV demand/capacity
+            reaches this.
+        scale_up_ttft_p99_s: scale up when the TTFT P99 over the recent
+            window exceeds this (``None`` disables the trigger).
+        scale_down_memory_ratio: a tick is "calm" only when demand/capacity
+            is at or below this and no requests are queued.
+        scale_down_idle_ticks: consecutive calm ticks required before
+            draining a group.
+        cold_start_s: delay between the scale-up decision and the new
+            group serving (weight loading / container start).
+        cooldown_s: minimum time between scaling actions.
+    """
+
+    enabled: bool = False
+    reserve_instances: int = 0
+    min_groups: int = 1
+    max_groups: Optional[int] = None
+    scale_up_queue_depth: int = 8
+    scale_up_memory_ratio: float = 0.90
+    scale_up_ttft_p99_s: Optional[float] = None
+    scale_down_memory_ratio: float = 0.30
+    scale_down_idle_ticks: int = 4
+    cold_start_s: float = 5.0
+    cooldown_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.reserve_instances < 0:
+            raise ValueError("reserve_instances must be >= 0")
+        if self.min_groups < 1:
+            raise ValueError("min_groups must be >= 1")
+        if self.max_groups is not None and self.max_groups < self.min_groups:
+            raise ValueError("max_groups must be >= min_groups")
+        if self.scale_up_queue_depth <= 0:
+            raise ValueError("scale_up_queue_depth must be positive")
+        if not 0.0 < self.scale_up_memory_ratio:
+            raise ValueError("scale_up_memory_ratio must be positive")
+        if self.scale_up_ttft_p99_s is not None and self.scale_up_ttft_p99_s <= 0:
+            raise ValueError("scale_up_ttft_p99_s must be positive when set")
+        if self.scale_down_memory_ratio < 0:
+            raise ValueError("scale_down_memory_ratio must be >= 0")
+        if self.scale_down_idle_ticks < 1:
+            raise ValueError("scale_down_idle_ticks must be >= 1")
+        if self.cold_start_s < 0:
+            raise ValueError("cold_start_s must be >= 0")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """The whole fleet layer: router + admission + autoscaler.
+
+    Attributes:
+        router: router strategy name (:func:`repro.fleet.routing.list_routers`).
+        admission: admission-control parameters.
+        autoscaler: elastic-capacity parameters.
+        tick_interval_s: period of the fleet controller's decision tick.
+    """
+
+    router: str = "least_loaded"
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    tick_interval_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.router:
+            raise ValueError("router must be non-empty")
+        if self.tick_interval_s <= 0:
+            raise ValueError("tick_interval_s must be positive")
+
+
+# ----------------------------------------------------------------------
+# Named autoscaler presets (the fleet sweep's elasticity axis)
+# ----------------------------------------------------------------------
+#: "fixed" pins the fleet (no elasticity, the paper's deployment);
+#: "elastic" reserves one instance as spare capacity and scales on queue
+#: depth / memory pressure with a 5 s cold start.
+AUTOSCALER_PRESETS: Dict[str, AutoscalerConfig] = {
+    "fixed": AutoscalerConfig(enabled=False),
+    "elastic": AutoscalerConfig(
+        enabled=True,
+        reserve_instances=1,
+        min_groups=1,
+        scale_up_queue_depth=8,
+        scale_up_memory_ratio=0.90,
+        scale_down_memory_ratio=0.30,
+        scale_down_idle_ticks=4,
+        cold_start_s=5.0,
+        cooldown_s=8.0,
+    ),
+}
+
+
+def list_autoscaler_presets() -> List[str]:
+    """Registered autoscaler preset names."""
+    return list(AUTOSCALER_PRESETS)
+
+
+def make_fleet_config(
+    router: str = "least_loaded",
+    autoscaler: str = "fixed",
+    *,
+    admission: Optional[AdmissionConfig] = None,
+    tick_interval_s: float = 1.0,
+) -> FleetConfig:
+    """Build a :class:`FleetConfig` from a router name and a preset name."""
+    # Local import: this module stays import-light for the sweep workers,
+    # but router typos should still fail at configuration time.
+    from repro.fleet.routing import list_routers
+
+    if router not in list_routers():
+        known = ", ".join(list_routers())
+        raise KeyError(f"unknown router {router!r}; known routers: {known}")
+    if autoscaler not in AUTOSCALER_PRESETS:
+        known = ", ".join(AUTOSCALER_PRESETS)
+        raise KeyError(f"unknown autoscaler preset {autoscaler!r}; known: {known}")
+    return FleetConfig(
+        router=router,
+        admission=admission if admission is not None else AdmissionConfig(),
+        autoscaler=AUTOSCALER_PRESETS[autoscaler],
+        tick_interval_s=tick_interval_s,
+    )
+
+
+def fleet_preset(name: str) -> FleetConfig:
+    """Resolve a compact ``"router/autoscaler"`` preset string.
+
+    Either side may be omitted: ``"elastic"`` means the default router with
+    the elastic preset; ``"power_of_two_choices/fixed"`` names both.  This
+    is the format ``repro.scenarios``' ``--fleet`` axis accepts.
+    """
+    router, _, scaler = name.partition("/")
+    if not _:
+        # A single token: an autoscaler preset name, else a router name.
+        if router in AUTOSCALER_PRESETS:
+            return make_fleet_config(autoscaler=router)
+        return make_fleet_config(router=router)
+    return make_fleet_config(router=router, autoscaler=scaler)
+
+
+def with_fleet(config, fleet: FleetConfig):
+    """Return a copy of a ``ServingConfig``-like dataclass with ``fleet`` set."""
+    return replace(config, fleet=fleet)
+
+
+__all__: Tuple[str, ...] = (
+    "AdmissionConfig",
+    "AutoscalerConfig",
+    "AUTOSCALER_PRESETS",
+    "FleetConfig",
+    "fleet_preset",
+    "list_autoscaler_presets",
+    "make_fleet_config",
+    "with_fleet",
+)

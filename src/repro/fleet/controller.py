@@ -1,0 +1,109 @@
+"""Fleet controller: composes router, admission control and autoscaler.
+
+One controller per :class:`~repro.serving.system.ClusterServingSystem`
+(built when ``ServingConfig.fleet`` is set).  It owns the fleet-level
+decision tick — a :class:`~repro.simulation.process.PeriodicProcess` on
+the system's deterministic event loop — and is the single entry point the
+serving system calls on request arrival, so routing, admission and
+elasticity all observe a consistent view of the fleet.
+
+The controller (not the raw group list) defines what is *routable*: a
+group the autoscaler is draining stays active (it must finish its running
+requests) but no longer receives new work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.engine.group import ServingGroup
+from repro.engine.request import Request
+from repro.fleet.admission import AdmissionController
+from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.config import FleetConfig
+from repro.fleet.routing import make_router
+from repro.simulation.process import PeriodicProcess
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.system import ClusterServingSystem
+
+
+class FleetController:
+    """Routes, admits and autoscales on behalf of one serving system."""
+
+    def __init__(self, config: FleetConfig, system: "ClusterServingSystem") -> None:
+        self.config = config
+        self.system = system
+        self.router = make_router(config.router, seed=system.config.seed)
+        self.admission = AdmissionController(
+            config.admission, self.router, groups_provider=self.routable_groups
+        )
+        self.autoscaler = Autoscaler(config.autoscaler, self)
+        self._process = PeriodicProcess(
+            system.loop, config.tick_interval_s, self._tick, name="fleet-controller"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._process.start()
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def reserve_instances(self, num_instances: int) -> int:
+        """How many instances to hold back as spare (≥1 must keep serving)."""
+        if not self.config.autoscaler.enabled:
+            return 0
+        return min(self.config.autoscaler.reserve_instances, num_instances - 1)
+
+    def on_group_created(self, group: ServingGroup) -> None:
+        """Hook from the serving system: every new group drains the queue.
+
+        Subscribing to the iteration loop keeps admission responsive —
+        capacity typically frees when an iteration completes, not on the
+        coarser controller tick.
+        """
+        group.iteration_listeners.append(self._on_group_iteration)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> str:
+        """Admit an arriving request; returns the admission outcome."""
+        return self.admission.submit(request, self.system.loop.now)
+
+    def routable_groups(self) -> List[ServingGroup]:
+        """Active groups currently receiving new work (draining excluded)."""
+        return [
+            g
+            for g in self.system.groups
+            if g.active and not self.autoscaler.is_draining(g)
+        ]
+
+    # ------------------------------------------------------------------
+    # Ticking
+    # ------------------------------------------------------------------
+    def _tick(self, now: float) -> None:
+        self.admission.drain(now)
+        self.autoscaler.tick(now)
+
+    def _on_group_iteration(self, group: ServingGroup, batch, end_time: float) -> None:
+        if self.admission.queued:
+            self.admission.drain(end_time)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Counters for the ``FLEET_results.json`` entry of this run."""
+        return {
+            "admitted": float(self.admission.admitted),
+            "shed": float(self.admission.shed),
+            "queue_peak": float(self.admission.queue_peak),
+            "scale_up_events": float(self.autoscaler.scale_up_events),
+            "scale_down_events": float(self.autoscaler.scale_down_events),
+            "spare_instances": float(len(self.autoscaler.spare_instances)),
+            "final_groups": float(len(self.routable_groups())),
+        }

@@ -1,15 +1,16 @@
-"""Stable schema of ``SCENARIO_results.json``.
+"""Stable schema of ``FLEET_results.json``.
 
-The scenario sweep runner emits one JSON document per run, mirroring the
-``BENCH_results.json`` contract (:mod:`repro.bench.schema`): keys may be
-*added* in later schema versions but the keys listed here are never renamed
-or removed, and ``tests/test_scenarios.py`` pins them.
+The fleet sweep emits one JSON document per run, mirroring the
+``BENCH_results.json`` / ``SCENARIO_results.json`` contracts: keys may be
+*added* in later schema versions but the keys listed here are never
+renamed or removed, and ``tests/test_fleet.py`` pins them.
 
-Determinism contract: for a fixed (scenarios, policies, scale, seed) the
-document is bit-identical across runs — including across parallel and
-sequential execution — *except* for the wall-clock keys listed in
-:data:`WALL_CLOCK_ENTRY_KEYS` / :data:`WALL_CLOCK_DOCUMENT_KEYS`; use
-:func:`strip_wall_clock` before comparing documents.
+Determinism contract: for a fixed (scenarios, policies, routers,
+autoscalers, scale, seed) the document is bit-identical across runs —
+including across parallel and sequential execution — *except* for the
+wall-clock keys in :data:`WALL_CLOCK_ENTRY_KEYS` /
+:data:`WALL_CLOCK_DOCUMENT_KEYS`; use :func:`strip_wall_clock` before
+comparing documents.
 
 Top-level document::
 
@@ -24,27 +25,36 @@ Top-level document::
         "drain_timeout_s": float
       },
       "scenarios": [str, ...],    # scenario names swept, in order
-      "policies": [str, ...],     # policy keys swept, in order
-      "fleet": str | null,        # fleet preset applied to every cell
-                                  # (optional/additive; null = plain dispatcher)
-      "entries": [ScenarioEntry, ...],
+      "policies": [str, ...],     # overload-policy keys swept, in order
+      "routers": [str, ...],      # router strategies swept, in order
+      "autoscalers": [str, ...],  # autoscaler preset names swept, in order
+      "entries": [FleetEntry, ...],
       "wall_s_total": float       # host wall-clock of the whole sweep
     }
 
-Each entry (one scenario × policy cell)::
+Each entry (one scenario × policy × router × autoscaler cell)::
 
     {
-      "scenario": str,            # registry name, e.g. "mmpp-bursty"
-      "policy": str,              # policy key, e.g. "kunserve"
-      "policy_name": str,         # display name, e.g. "KunServe"
+      "scenario": str,            # registry name, e.g. "spike-train"
+      "policy": str,              # overload-policy key, e.g. "vllm"
+      "policy_name": str,         # display name, e.g. "vLLM (DP)"
+      "router": str,              # router strategy, e.g. "power_of_two_choices"
+      "autoscaler": str,          # preset name, "fixed" or "elastic"
       "workload": str,            # materialised workload name
       "requests": int,            # requests submitted
+      "admitted": int,            # requests dispatched to a serving group
+      "shed": int,                # requests rejected by admission control
+      "queue_peak": int,          # peak admission-queue occupancy
+      "scale_up_events": int,     # autoscaler scale-up decisions
+      "scale_down_events": int,   # autoscaler drain decisions
+      "initial_groups": int,      # serving groups at t=0
+      "final_groups": int,        # routable groups when the run ended
       "finished": int,            # requests finished before the horizon
-      "completion_ratio": float,  # finished / requests
+      "completion_ratio": float,  # finished / requests (shed count against it)
       "ttft_p50": float, "ttft_p90": float, "ttft_p99": float,   # seconds
       "tpot_p50": float, "tpot_p90": float, "tpot_p99": float,   # seconds
       "throughput_tokens_per_s": float,
-      "slo_scale": float,         # scenario SLO factor (x best-policy P50)
+      "slo_scale": float,         # scenario SLO factor (x best-cell P50)
       "ttft_slo_s": float,        # absolute TTFT SLO derived for the cell
       "tpot_slo_s": float,        # absolute TPOT SLO derived for the cell
       "slo_violation_ratio": float,
@@ -69,6 +79,8 @@ DOCUMENT_KEYS = (
     "scale",
     "scenarios",
     "policies",
+    "routers",
+    "autoscalers",
     "entries",
     "wall_s_total",
 )
@@ -78,8 +90,17 @@ ENTRY_KEYS = (
     "scenario",
     "policy",
     "policy_name",
+    "router",
+    "autoscaler",
     "workload",
     "requests",
+    "admitted",
+    "shed",
+    "queue_peak",
+    "scale_up_events",
+    "scale_down_events",
+    "initial_groups",
+    "final_groups",
     "finished",
     "completion_ratio",
     "ttft_p50",
@@ -97,7 +118,7 @@ ENTRY_KEYS = (
     "wall_s",
 )
 
-#: Keys of the scale block (same as the bench schema's).
+#: Keys of the scale block (same as the bench/scenario schemas').
 SCALE_KEYS = ("name", "num_instances", "trace_duration_s", "drain_timeout_s")
 
 #: Entry keys carrying host wall-clock (excluded from determinism checks).
@@ -134,7 +155,7 @@ def validate_document(document: Dict) -> List[str]:
     for key in SCALE_KEYS:
         if key not in document.get("scale", {}):
             problems.append(f"missing scale key {key!r}")
-    for key in ("scenarios", "policies"):
+    for key in ("scenarios", "policies", "routers", "autoscalers"):
         if key in document and not isinstance(document[key], list):
             problems.append(f"{key} must be a list")
     entries = document.get("entries", [])
@@ -145,7 +166,7 @@ def validate_document(document: Dict) -> List[str]:
         for key in ENTRY_KEYS:
             if key not in entry:
                 problems.append(
-                    f"entry {index} ({entry.get('scenario')!r} x {entry.get('policy')!r}) "
-                    f"missing {key!r}"
+                    f"entry {index} ({entry.get('scenario')!r} x {entry.get('router')!r} "
+                    f"x {entry.get('autoscaler')!r}) missing {key!r}"
                 )
     return problems

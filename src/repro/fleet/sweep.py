@@ -1,0 +1,321 @@
+"""Parallel fleet sweep: scenario × policy × router × autoscaler grid.
+
+Replays registered scenarios (:mod:`repro.scenarios.registry`) through
+fleet-enabled serving systems, varying the router strategy and the
+autoscaler preset, and aggregates the results into a stable-schema
+``FLEET_results.json`` document (:mod:`repro.fleet.schema`).
+
+Mirrors the ``repro.scenarios`` sweep machinery: cells fan out across
+worker processes (each builds its own system from scratch), every cell is
+seeded independently of execution order, and the document is assembled in
+grid order — so output is bit-identical across runs and across parallel
+vs. sequential execution, modulo the ``wall_s*`` fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.runner import ExperimentScale
+from repro.fleet.config import AdmissionConfig, list_autoscaler_presets, make_fleet_config
+from repro.fleet.routing import list_routers
+from repro.fleet.schema import SCHEMA_VERSION
+from repro.policies import make_policy
+from repro.scenarios.registry import ScenarioSpec, get_scenario, list_scenarios
+from repro.scenarios.sweep import build_cell_config
+from repro.serving.system import ClusterServingSystem
+from repro.version import __version__
+from repro.workloads.slo import LatencyRecord, baseline_p50, slo_violation_ratio
+
+#: Default sweep scale; what the ``python -m repro.fleet`` acceptance run uses.
+QUICK_FLEET_SCALE = ExperimentScale(
+    name="fleet-quick",
+    num_instances=2,
+    trace_duration_s=30.0,
+    drain_timeout_s=30.0,
+)
+
+FULL_FLEET_SCALE = ExperimentScale(
+    name="fleet-full",
+    num_instances=4,
+    trace_duration_s=90.0,
+    drain_timeout_s=90.0,
+)
+
+FLEET_SCALES: Dict[str, ExperimentScale] = {
+    "quick": QUICK_FLEET_SCALE,
+    "full": FULL_FLEET_SCALE,
+}
+
+#: Default grid axes: one bursty scenario, one policy, every router, both
+#: elasticity presets.
+DEFAULT_SCENARIOS: Tuple[str, ...] = ("spike-train",)
+DEFAULT_POLICIES: Tuple[str, ...] = ("vllm",)
+
+#: Admission settings used by every sweep cell: tight enough that bounded
+#: queues and SLO shedding are exercised under the burst scenarios, loose
+#: enough that steady-state cells behave like the plain dispatcher.
+SWEEP_ADMISSION = AdmissionConfig(
+    max_queue_depth=512,
+    max_group_waiting=64,
+    ttft_shed_s=60.0,
+)
+
+#: Default output location: the repository root, next to BENCH_results.json.
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "FLEET_results.json"
+
+
+@dataclass(frozen=True)
+class FleetCellResult:
+    """Raw outcome of one grid cell, before SLO aggregation.
+
+    ``latencies`` holds one ``(ttft, mean_tpot)`` pair per request so the
+    aggregator can derive cross-cell SLO baselines without shipping full
+    records between processes (same trick as the scenario sweep).
+    """
+
+    scenario: str
+    policy: str
+    policy_name: str
+    router: str
+    autoscaler: str
+    workload: str
+    requests: int
+    finished: int
+    completion_ratio: float
+    initial_groups: int
+    summary: Dict[str, float]
+    fleet_stats: Dict[str, float]
+    latencies: Tuple[Tuple[Optional[float], Optional[float]], ...]
+    wall_s: float
+
+
+def run_fleet_cell(
+    scenario: Union[str, ScenarioSpec],
+    policy_key: str,
+    router: str,
+    autoscaler: str,
+    scale: ExperimentScale,
+    seed: int = 42,
+) -> FleetCellResult:
+    """Run one scenario under one (policy, router, autoscaler) combination.
+
+    Top-level and picklable-argument by design: ``ProcessPoolExecutor``
+    workers call exactly this.
+    """
+    spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
+    workload = spec.build_workload(scale, seed)
+    policy = make_policy(policy_key)
+    config = build_cell_config(spec, scale, seed=seed)
+    config.fleet = make_fleet_config(
+        router=router, autoscaler=autoscaler, admission=SWEEP_ADMISSION
+    )
+    start = time.perf_counter()
+    system = ClusterServingSystem(config, policy)
+    initial_groups = len(system.groups)
+    result = system.run(workload)
+    wall_s = time.perf_counter() - start
+    return FleetCellResult(
+        scenario=spec.name,
+        policy=policy_key,
+        policy_name=policy.name,
+        router=router,
+        autoscaler=autoscaler,
+        workload=workload.name,
+        requests=result.submitted_requests,
+        finished=result.finished_requests,
+        completion_ratio=result.completion_ratio,
+        initial_groups=initial_groups,
+        summary=result.summary,
+        fleet_stats=system.fleet.stats(),
+        latencies=tuple((r.ttft, r.mean_tpot) for r in result.records),
+        wall_s=wall_s,
+    )
+
+
+def _run_cell_star(
+    args: Tuple[ScenarioSpec, str, str, str, ExperimentScale, int]
+) -> FleetCellResult:
+    """Unpack helper for ``ProcessPoolExecutor.map``."""
+    return run_fleet_cell(*args)
+
+
+def _scenario_entries(spec: ScenarioSpec, cells: Sequence[FleetCellResult]) -> List[Dict]:
+    """Turn one scenario's cells into schema entries with derived SLOs.
+
+    The SLO reference point is the best cell's P50 (TTFT and TPOT
+    independently) *within this scenario* across the whole fleet grid,
+    scaled by the scenario's ``slo_scale`` — the Figure 13 convention with
+    fleet configurations standing in for policies.
+    """
+    records_by_cell = {
+        index: [LatencyRecord(t, p) for t, p in cell.latencies]
+        for index, cell in enumerate(cells)
+    }
+    best_ttft, best_tpot = baseline_p50(records_by_cell)
+    ttft_slo_s = spec.slo_scale * best_ttft
+    tpot_slo_s = spec.slo_scale * best_tpot
+    entries = []
+    for index, cell in enumerate(cells):
+        violation = slo_violation_ratio(
+            records_by_cell[index], ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s
+        )
+        stats = cell.fleet_stats
+        entries.append(
+            {
+                "scenario": cell.scenario,
+                "policy": cell.policy,
+                "policy_name": cell.policy_name,
+                "router": cell.router,
+                "autoscaler": cell.autoscaler,
+                "workload": cell.workload,
+                "requests": cell.requests,
+                "admitted": int(stats["admitted"]),
+                "shed": int(stats["shed"]),
+                "queue_peak": int(stats["queue_peak"]),
+                "scale_up_events": int(stats["scale_up_events"]),
+                "scale_down_events": int(stats["scale_down_events"]),
+                "initial_groups": cell.initial_groups,
+                "final_groups": int(stats["final_groups"]),
+                "finished": cell.finished,
+                "completion_ratio": cell.completion_ratio,
+                "ttft_p50": cell.summary["ttft_p50"],
+                "ttft_p90": cell.summary["ttft_p90"],
+                "ttft_p99": cell.summary["ttft_p99"],
+                "tpot_p50": cell.summary["tpot_p50"],
+                "tpot_p90": cell.summary["tpot_p90"],
+                "tpot_p99": cell.summary["tpot_p99"],
+                "throughput_tokens_per_s": cell.summary["throughput_tokens_per_s"],
+                "slo_scale": spec.slo_scale,
+                "ttft_slo_s": ttft_slo_s,
+                "tpot_slo_s": tpot_slo_s,
+                "slo_violation_ratio": violation,
+                "slo_attainment": 1.0 - violation,
+                "wall_s": cell.wall_s,
+            }
+        )
+    return entries
+
+
+def run_fleet_sweep(
+    *,
+    scenarios: Optional[Sequence[str]] = None,
+    policies: Optional[Sequence[str]] = None,
+    routers: Optional[Sequence[str]] = None,
+    autoscalers: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = QUICK_FLEET_SCALE,
+    seed: int = 42,
+    max_workers: Optional[int] = None,
+) -> Dict:
+    """Sweep the scenario × policy × router × autoscaler grid.
+
+    Args:
+        scenarios: scenario names (default: :data:`DEFAULT_SCENARIOS`).
+        policies: overload-policy keys (default: :data:`DEFAULT_POLICIES`).
+        routers: router strategies (default: every registered router).
+        autoscalers: autoscaler preset names (default: every preset).
+        scale: cluster size / trace length of every cell.
+        seed: sweep seed; every cell derives its randomness from it.
+        max_workers: worker processes; ``1`` runs cells inline (no pool),
+            ``None`` sizes the pool to the grid (capped by the scheduler).
+    """
+    names = list(scenarios) if scenarios is not None else list(DEFAULT_SCENARIOS)
+    policy_keys = list(policies) if policies is not None else list(DEFAULT_POLICIES)
+    router_names = list(routers) if routers is not None else list_routers()
+    scaler_names = (
+        list(autoscalers) if autoscalers is not None else list_autoscaler_presets()
+    )
+    unknown = [n for n in names if n not in list_scenarios()]
+    if unknown:
+        raise KeyError(f"unknown scenarios {unknown}; known: {', '.join(list_scenarios())}")
+    unknown = [r for r in router_names if r not in list_routers()]
+    if unknown:
+        raise KeyError(f"unknown routers {unknown}; known: {', '.join(list_routers())}")
+    unknown = [a for a in scaler_names if a not in list_autoscaler_presets()]
+    if unknown:
+        raise KeyError(
+            f"unknown autoscaler presets {unknown}; "
+            f"known: {', '.join(list_autoscaler_presets())}"
+        )
+    if not names or not policy_keys or not router_names or not scaler_names:
+        raise ValueError("the fleet sweep needs at least one value on every axis")
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    specs = [get_scenario(name) for name in names]
+    grid = [
+        (spec, policy, router, scaler, scale, seed)
+        for spec in specs
+        for policy in policy_keys
+        for router in router_names
+        for scaler in scaler_names
+    ]
+
+    start = time.perf_counter()
+    if max_workers == 1:
+        cells = [run_fleet_cell(*task) for task in grid]
+    else:
+        workers = min(max_workers or len(grid), len(grid))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            cells = list(pool.map(_run_cell_star, grid))
+    wall_s_total = time.perf_counter() - start
+
+    by_scenario: Dict[str, List[FleetCellResult]] = {name: [] for name in names}
+    for cell in cells:
+        by_scenario[cell.scenario].append(cell)
+    entries: List[Dict] = []
+    for spec in specs:
+        entries.extend(_scenario_entries(spec, by_scenario[spec.name]))
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "repro_version": __version__,
+        "seed": seed,
+        "scale": {
+            "name": scale.name,
+            "num_instances": scale.num_instances,
+            "trace_duration_s": scale.trace_duration_s,
+            "drain_timeout_s": scale.drain_timeout_s,
+        },
+        "scenarios": names,
+        "policies": policy_keys,
+        "routers": router_names,
+        "autoscalers": scaler_names,
+        "entries": entries,
+        "wall_s_total": wall_s_total,
+    }
+
+
+def write_results(document: Dict, path: Optional[Path] = None) -> Path:
+    """Write the document to ``FLEET_results.json`` (repo root by default)."""
+    target = Path(path) if path is not None else DEFAULT_OUTPUT
+    target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def format_results(document: Dict) -> str:
+    """Human-readable table of a fleet sweep document."""
+    scale = document["scale"]
+    lines = [
+        f"repro {document['repro_version']} · scale {scale['name']} "
+        f"({scale['num_instances']} instances, {scale['trace_duration_s']:.0f}s trace) "
+        f"· seed {document['seed']} · {len(document['entries'])} cells "
+        f"in {document['wall_s_total']:.1f}s",
+        f"{'scenario':<16} {'policy':<9} {'router':<21} {'scaler':<8} "
+        f"{'reqs':>5} {'fin':>5} {'shed':>5} {'up':>3} {'dn':>3} "
+        f"{'ttft_p50':>9} {'slo_att':>8}",
+    ]
+    for entry in document["entries"]:
+        lines.append(
+            f"{entry['scenario']:<16} {entry['policy']:<9} {entry['router']:<21} "
+            f"{entry['autoscaler']:<8} {entry['requests']:>5d} {entry['finished']:>5d} "
+            f"{entry['shed']:>5d} {entry['scale_up_events']:>3d} "
+            f"{entry['scale_down_events']:>3d} {entry['ttft_p50']:>9.3f} "
+            f"{entry['slo_attainment']:>8.2f}"
+        )
+    return "\n".join(lines)

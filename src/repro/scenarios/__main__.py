@@ -49,6 +49,13 @@ def main(argv=None) -> int:
         help="policy keys applied to every scenario (default: each scenario's "
         f"own ScenarioSpec.policies set, usually {' '.join(DEFAULT_POLICY_SET)})",
     )
+    parser.add_argument(
+        "--fleet",
+        default=None,
+        metavar="PRESET",
+        help="run every cell behind a fleet preset (e.g. 'elastic' or "
+        "'power_of_two_choices/elastic'); default: plain dispatcher",
+    )
     parser.add_argument("--seed", type=int, default=42, help="sweep seed")
     parser.add_argument(
         "--workers",
@@ -100,6 +107,7 @@ def main(argv=None) -> int:
             scale=SWEEP_SCALES[args.scale],
             seed=args.seed,
             max_workers=max_workers,
+            fleet=args.fleet,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)

@@ -32,13 +32,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.runner import ExperimentScale
 from repro.cluster.specs import cluster_a_spec, cluster_b_spec
+from repro.fleet.config import fleet_preset
 from repro.policies import make_policy
 from repro.scenarios.registry import ScenarioSpec, get_scenario, list_scenarios
 from repro.scenarios.schema import SCHEMA_VERSION
 from repro.serving.config import ServingConfig
 from repro.serving.system import ClusterServingSystem
 from repro.version import __version__
-from repro.workloads.slo import baseline_p50, slo_violation_ratio
+from repro.workloads.slo import LatencyRecord, baseline_p50, slo_violation_ratio
 
 #: Default sweep scales; ``quick`` is the one the CLI acceptance run uses.
 QUICK_SWEEP_SCALE = ExperimentScale(
@@ -112,18 +113,24 @@ def run_cell(
     policy_key: str,
     scale: ExperimentScale,
     seed: int = 42,
+    fleet: Optional[str] = None,
 ) -> CellResult:
     """Run one scenario under one policy; the unit of parallel work.
 
     Top-level and picklable-argument by design: ``ProcessPoolExecutor``
     workers call exactly this.  Accepts the spec itself (what the sweep
     sends, so run-time registrations work under any start method) or a
-    registry name.
+    registry name.  ``fleet`` optionally names a fleet preset
+    (:func:`repro.fleet.config.fleet_preset`, e.g. ``"elastic"`` or
+    ``"power_of_two_choices/elastic"``) so the cell runs behind the
+    elastic-fleet layer instead of the plain dispatcher.
     """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     workload = spec.build_workload(scale, seed)
     policy = make_policy(policy_key)
     config = build_cell_config(spec, scale, seed=seed)
+    if fleet is not None:
+        config.fleet = fleet_preset(fleet)
     start = time.perf_counter()
     system = ClusterServingSystem(config, policy)
     result = system.run(workload)
@@ -142,19 +149,11 @@ def run_cell(
     )
 
 
-def _run_cell_star(args: Tuple[ScenarioSpec, str, ExperimentScale, int]) -> CellResult:
+def _run_cell_star(
+    args: Tuple[ScenarioSpec, str, ExperimentScale, int, Optional[str]]
+) -> CellResult:
     """Unpack helper for ``ProcessPoolExecutor.map``."""
     return run_cell(*args)
-
-
-class _LatencyRecord:
-    """Adapter exposing the two attributes the SLO accounting reads."""
-
-    __slots__ = ("ttft", "mean_tpot")
-
-    def __init__(self, ttft: Optional[float], mean_tpot: Optional[float]) -> None:
-        self.ttft = ttft
-        self.mean_tpot = mean_tpot
 
 
 def _scenario_entries(spec: ScenarioSpec, cells: Sequence[CellResult]) -> List[Dict]:
@@ -165,7 +164,7 @@ def _scenario_entries(spec: ScenarioSpec, cells: Sequence[CellResult]) -> List[D
     scenario*, scaled by the scenario's ``slo_scale``.
     """
     records_by_policy = {
-        cell.policy: [_LatencyRecord(t, p) for t, p in cell.latencies] for cell in cells
+        cell.policy: [LatencyRecord(t, p) for t, p in cell.latencies] for cell in cells
     }
     best_ttft, best_tpot = baseline_p50(records_by_policy)
     ttft_slo_s = spec.slo_scale * best_ttft
@@ -209,6 +208,7 @@ def run_sweep(
     scale: ExperimentScale = QUICK_SWEEP_SCALE,
     seed: int = 42,
     max_workers: Optional[int] = None,
+    fleet: Optional[str] = None,
 ) -> Dict:
     """Sweep the scenario × policy grid; return the results document.
 
@@ -221,7 +221,12 @@ def run_sweep(
         seed: sweep seed; every cell derives its randomness from it.
         max_workers: worker processes; ``1`` runs cells inline (no pool),
             ``None`` sizes the pool to the grid (capped by the scheduler).
+        fleet: optional fleet preset applied to every cell (the fleet
+            axis; see :func:`repro.fleet.config.fleet_preset`).  ``None``
+            keeps the classic plain-dispatcher cells.
     """
+    if fleet is not None:
+        fleet_preset(fleet)  # fail fast on unknown presets
     names = list(scenarios) if scenarios is not None else list_scenarios()
     unknown = [n for n in names if n not in list_scenarios()]
     if unknown:
@@ -232,7 +237,7 @@ def run_sweep(
         raise ValueError("max_workers must be >= 1")
     specs = [get_scenario(name) for name in names]
     grid = [
-        (spec, policy, scale, seed)
+        (spec, policy, scale, seed, fleet)
         for spec in specs
         for policy in (policies if policies is not None else spec.policies)
     ]
@@ -267,6 +272,7 @@ def run_sweep(
         },
         "scenarios": names,
         "policies": policy_list,
+        "fleet": fleet,
         "entries": entries,
         "wall_s_total": wall_s_total,
     }

@@ -8,6 +8,7 @@ from typing import Optional
 from repro.cluster.cluster import ClusterSpec
 from repro.cluster.specs import cluster_a_spec
 from repro.engine.latency_model import LatencyModelConfig
+from repro.fleet.config import FleetConfig
 from repro.models.catalog import QWEN_2_5_14B
 from repro.models.spec import ModelSpec
 
@@ -32,6 +33,9 @@ class ServingConfig:
             running to let in-flight requests finish.
         latency_config: overrides for the roofline latency model.
         seed: experiment seed (latency jitter, workload sampling).
+        fleet: optional elastic-fleet layer (router strategy, admission
+            control, autoscaler); ``None`` keeps the classic fixed fleet
+            behind the plain dispatcher.
     """
 
     model: ModelSpec = field(default_factory=lambda: QWEN_2_5_14B)
@@ -46,6 +50,7 @@ class ServingConfig:
     drain_timeout_s: float = 120.0
     latency_config: Optional[LatencyModelConfig] = None
     seed: int = 42
+    fleet: Optional[FleetConfig] = None
 
     def __post_init__(self) -> None:
         if self.gpus_per_instance <= 0:

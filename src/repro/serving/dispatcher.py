@@ -3,30 +3,37 @@
 Routes each arriving request to a serving group.  The default strategy is
 the Llumnix-style load balancing the paper adopts for *all* evaluated
 systems: pick the group with the lowest memory-demand-to-capacity ratio,
-breaking ties by queue length.  A round-robin strategy is kept for
-controlled experiments.
+breaking ties by queue length.  Strategies are resolved from the pluggable
+router registry in :mod:`repro.fleet.routing`, so every registered
+strategy (round-robin, power-of-two-choices, memory headroom, session
+affinity, ...) is available here by name; fleet runs replace the
+dispatcher wholesale with the admission-controlled
+:class:`~repro.fleet.controller.FleetController`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.engine.group import ServingGroup
 from repro.engine.request import Request
+from repro.fleet.routing import list_routers, make_router
 
 
 class Dispatcher:
-    """Routes requests to serving groups."""
+    """Routes requests to serving groups via a named router strategy."""
 
-    STRATEGIES = ("least_loaded", "round_robin")
+    #: Strategy names available at import time (the built-in routers).
+    STRATEGIES = tuple(list_routers())
 
-    def __init__(self, strategy: str = "least_loaded") -> None:
-        if strategy not in self.STRATEGIES:
+    def __init__(self, strategy: str = "least_loaded", *, seed: int = 0) -> None:
+        try:
+            self._router = make_router(strategy, seed=seed)
+        except KeyError:
             raise ValueError(
-                f"unknown dispatch strategy {strategy!r}; choose from {self.STRATEGIES}"
-            )
+                f"unknown dispatch strategy {strategy!r}; choose from {tuple(list_routers())}"
+            ) from None
         self.strategy = strategy
-        self._round_robin_cursor = 0
         self.dispatched = 0
 
     def dispatch(self, request: Request, groups: List[ServingGroup]) -> ServingGroup:
@@ -34,21 +41,7 @@ class Dispatcher:
         active = [g for g in groups if g.active]
         if not active:
             raise RuntimeError("no active serving groups to dispatch to")
-        if self.strategy == "round_robin":
-            group = active[self._round_robin_cursor % len(active)]
-            self._round_robin_cursor += 1
-        else:
-            group = self._least_loaded(active)
+        group = self._router.route(request, active)
         group.enqueue(request)
         self.dispatched += 1
         return group
-
-    @staticmethod
-    def _least_loaded(groups: List[ServingGroup]) -> ServingGroup:
-        def load_key(group: ServingGroup):
-            capacity = group.kv_capacity_bytes()
-            demand = group.kv_demand_bytes()
-            ratio = demand / capacity if capacity > 0 else float("inf")
-            return (ratio, group.scheduler.num_waiting, group.group_id)
-
-        return min(groups, key=load_key)

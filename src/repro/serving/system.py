@@ -18,6 +18,7 @@ from repro.engine.instance import ServingInstance
 from repro.engine.metrics import MetricsCollector, RequestRecord
 from repro.engine.request import Request
 from repro.engine.scheduler import SchedulerConfig
+from repro.fleet.controller import FleetController
 from repro.models.memory import kv_bytes_per_token
 from repro.models.spec import ModelSpec
 from repro.policies.base import OverloadPolicy
@@ -66,6 +67,9 @@ class ClusterServingSystem:
 
         self.instances: List[ServingInstance] = self._build_instances()
         self.groups: List[ServingGroup] = []
+        self.fleet: Optional[FleetController] = (
+            FleetController(config.fleet, self) if config.fleet is not None else None
+        )
         self._build_initial_groups()
 
         self.dispatcher = Dispatcher()
@@ -100,9 +104,16 @@ class ClusterServingSystem:
         return instances
 
     def _build_initial_groups(self) -> None:
-        layout = self.policy.initial_groups(len(self.instances))
+        # The fleet's autoscaler may hold back instances as spare capacity;
+        # the policy lays out only the instances serving from the start.
+        initial = instances = self.instances
+        if self.fleet is not None:
+            reserve = self.fleet.reserve_instances(len(instances))
+            initial = instances[: len(instances) - reserve]
+            self.fleet.autoscaler.adopt_spares(list(instances[len(initial):]))
+        layout = self.policy.initial_groups(len(initial))
         for member_indices in layout:
-            members = [self.instances[i] for i in member_indices]
+            members = [initial[i] for i in member_indices]
             assignment = self.policy.initial_layer_assignment(
                 member_indices, self.model.num_layers
             )
@@ -139,6 +150,8 @@ class ClusterServingSystem:
             block_size=self.config.block_size,
         )
         self.groups.append(group)
+        if self.fleet is not None:
+            self.fleet.on_group_created(group)
         return group
 
     def retire_group(self, group: ServingGroup) -> None:
@@ -154,10 +167,13 @@ class ClusterServingSystem:
     # Request submission
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
-        """Dispatch a request right now."""
+        """Dispatch a request right now (through the fleet layer if present)."""
         self._submitted += 1
         self._all_requests.append(request)
-        self.dispatcher.dispatch(request, self.groups)
+        if self.fleet is not None:
+            self.fleet.submit(request)
+        else:
+            self.dispatcher.dispatch(request, self.groups)
 
     def submit_at(self, request: Request, time: float) -> None:
         """Schedule a request arrival at absolute simulation time ``time``."""
@@ -197,11 +213,15 @@ class ClusterServingSystem:
         """
         requests = self.schedule_workload(workload)
         self.monitor.start()
+        if self.fleet is not None:
+            self.fleet.start()
         horizon = until
         if horizon is None:
             horizon = workload.duration + (self.config.drain_timeout_s if drain else 0.0)
         self.loop.run(until=horizon)
         self.monitor.stop()
+        if self.fleet is not None:
+            self.fleet.stop()
         self._finalize_unfinished()
         summary = self.metrics.summary()
         result = SimulationResult(

@@ -18,6 +18,22 @@ CHAT_SLO_SCALE = 5.0
 SUMMARY_SLO_SCALE = 10.0
 
 
+class LatencyRecord:
+    """Minimal record exposing the two attributes SLO accounting reads.
+
+    The sweep runners ship ``(ttft, mean_tpot)`` pairs between worker
+    processes instead of full :class:`RequestRecord` objects; this adapter
+    turns a pair back into something :func:`baseline_p50` and
+    :func:`slo_violation_ratio` accept.
+    """
+
+    __slots__ = ("ttft", "mean_tpot")
+
+    def __init__(self, ttft, mean_tpot) -> None:
+        self.ttft = ttft
+        self.mean_tpot = mean_tpot
+
+
 @dataclass
 class SLOResult:
     """SLO violation ratio of one system at one scale factor."""

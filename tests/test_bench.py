@@ -87,6 +87,7 @@ class TestSchema:
             "figure17",
             "table1",
             "scenarios",
+            "fleet",
         }
 
 
@@ -128,6 +129,13 @@ class TestHarnessSmoke:
         entry = run_experiment_benchmark("scenarios", TINY_SCALE, seed=1)
         assert entry.kind == "experiment"
         assert entry.experiment == "scenarios"
+        assert entry.wall_s > 0
+        assert entry.events > 0  # runs inline, so the event meter sees it
+
+    def test_fleet_sweep_row_runs_tiny_grid(self):
+        entry = run_experiment_benchmark("fleet", TINY_SCALE, seed=1)
+        assert entry.kind == "experiment"
+        assert entry.experiment == "fleet"
         assert entry.wall_s > 0
         assert entry.events > 0  # runs inline, so the event meter sees it
 

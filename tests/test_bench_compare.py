@@ -1,0 +1,83 @@
+"""Tests for ``scripts/bench_compare.py`` (the bench-trajectory gate).
+
+The script is stdlib-only and lives outside the package so CI can run it
+without PYTHONPATH setup; these tests load it by path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = pathlib.Path(__file__).resolve().parents[1] / "scripts" / "bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def document(wall_by_key):
+    return {
+        "schema_version": 1,
+        "entries": [
+            {"experiment": experiment, "policy": policy, "wall_s": wall}
+            for (experiment, policy), wall in wall_by_key.items()
+        ],
+    }
+
+
+def write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestCompare:
+    def test_no_regression_passes(self, tmp_path, capsys):
+        base = write(tmp_path, "a.json", document({("figure2", "-"): 10.0}))
+        curr = write(tmp_path, "b.json", document({("figure2", "-"): 11.0}))
+        assert bench_compare.main([str(base), str(curr), "--threshold", "25"]) == 0
+        assert "no wall-clock regressions" in capsys.readouterr().out
+
+    def test_regression_beyond_threshold_fails(self, tmp_path, capsys):
+        base = write(tmp_path, "a.json", document({("figure2", "-"): 10.0}))
+        curr = write(tmp_path, "b.json", document({("figure2", "-"): 15.0}))
+        assert bench_compare.main([str(base), str(curr), "--threshold", "25"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tiny_absolute_regressions_are_ignored(self, tmp_path):
+        # 100% slower but only 20 ms: below the absolute noise floor.
+        base = write(tmp_path, "a.json", document({("table1", "-"): 0.02}))
+        curr = write(tmp_path, "b.json", document({("table1", "-"): 0.04}))
+        assert bench_compare.main([str(base), str(curr), "--threshold", "25"]) == 0
+
+    def test_new_and_gone_entries_never_fail(self, tmp_path, capsys):
+        base = write(tmp_path, "a.json", document({("figure2", "-"): 10.0}))
+        curr = write(tmp_path, "b.json", document({("fleet", "-"): 5.0}))
+        assert bench_compare.main([str(base), str(curr)]) == 0
+        out = capsys.readouterr().out
+        assert "(new)" in out and "(gone)" in out
+
+    def test_matching_uses_experiment_and_policy(self, tmp_path):
+        base = write(
+            tmp_path, "a.json",
+            document({("policy:x", "vllm"): 1.0, ("policy:x", "kunserve"): 1.0}),
+        )
+        curr = write(
+            tmp_path, "b.json",
+            document({("policy:x", "vllm"): 1.1, ("policy:x", "kunserve"): 5.0}),
+        )
+        assert bench_compare.main([str(base), str(curr), "--threshold", "50"]) == 1
+
+    def test_unreadable_input_is_a_usage_error(self, tmp_path):
+        good = write(tmp_path, "a.json", document({}))
+        assert bench_compare.main([str(good), str(tmp_path / "missing.json")]) == 2
+
+    def test_compare_reports_lines_for_every_key(self):
+        baseline = {("e", "-"): {"experiment": "e", "policy": None, "wall_s": 1.0}}
+        current = {("e", "-"): {"experiment": "e", "policy": None, "wall_s": 1.0}}
+        lines, regressions = bench_compare.compare(baseline, current, 25.0)
+        assert len(lines) == 2  # header + one entry
+        assert regressions == []

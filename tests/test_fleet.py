@@ -1,0 +1,525 @@
+"""Tests for the elastic-fleet subsystem (``repro.fleet``).
+
+Covers the router registry and strategy behaviour, admission control
+(bounded queues, SLO shedding, tenant fairness), the autoscaler's
+scale-up/cold-start/drain lifecycle end-to-end on the simulator, the
+``FLEET_results.json`` schema contract, and the determinism guarantee:
+same grid + seed ⇒ bit-identical documents across runs and across
+parallel vs. sequential execution (modulo ``wall_s*``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.specs import cluster_a_spec
+from repro.engine.request import Request
+from repro.experiments.runner import ExperimentScale
+from repro.fleet import (
+    AdmissionConfig,
+    AdmissionController,
+    AutoscalerConfig,
+    DOCUMENT_KEYS,
+    ENTRY_KEYS,
+    FleetConfig,
+    SCALE_KEYS,
+    SCHEMA_VERSION,
+    fleet_preset,
+    list_autoscaler_presets,
+    list_routers,
+    make_fleet_config,
+    make_router,
+    register_router,
+    strip_wall_clock,
+    validate_document,
+)
+from repro.fleet.routing import Router, _ROUTERS
+from repro.fleet.sweep import (
+    run_fleet_cell,
+    run_fleet_sweep,
+    write_results,
+    format_results,
+)
+from repro.policies import make_policy
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.sweep import run_cell
+from repro.serving.config import ServingConfig
+from repro.serving.system import ClusterServingSystem
+
+from tests.test_dispatcher import StubGroup, request
+
+#: Scale small enough that a fleet cell completes in well under a second.
+TINY_SCALE = ExperimentScale(
+    name="fleet-tiny",
+    num_instances=2,
+    trace_duration_s=5.0,
+    drain_timeout_s=5.0,
+)
+
+
+def build_system(
+    *,
+    num_servers: int = 2,
+    router: str = "least_loaded",
+    autoscaler: AutoscalerConfig = AutoscalerConfig(),
+    admission: AdmissionConfig = AdmissionConfig(),
+    policy: str = "vllm",
+    drain_timeout_s: float = 10.0,
+) -> ClusterServingSystem:
+    config = ServingConfig(
+        cluster=cluster_a_spec(num_servers=num_servers),
+        drain_timeout_s=drain_timeout_s,
+        fleet=FleetConfig(router=router, admission=admission, autoscaler=autoscaler),
+    )
+    return ClusterServingSystem(config, make_policy(policy))
+
+
+class TestRouterRegistry:
+    def test_builtins_are_registered(self):
+        assert {
+            "least_loaded",
+            "round_robin",
+            "power_of_two_choices",
+            "memory_headroom",
+            "session_affinity",
+        } <= set(list_routers())
+
+    def test_make_router_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            make_router("no-such-router")
+
+    def test_register_rejects_duplicates_unless_overwrite(self):
+        class Custom(Router):
+            def route(self, request, groups):
+                return groups[0]
+
+        register_router("custom-test-router", Custom)
+        try:
+            with pytest.raises(ValueError):
+                register_router("custom-test-router", Custom)
+            register_router("custom-test-router", Custom, overwrite=True)
+            assert make_router("custom-test-router").name == "custom-test-router"
+        finally:
+            del _ROUTERS["custom-test-router"]
+
+    def test_make_fleet_config_validates_both_axes(self):
+        with pytest.raises(KeyError):
+            make_fleet_config(router="nope")
+        with pytest.raises(KeyError):
+            make_fleet_config(autoscaler="nope")
+
+    def test_fleet_preset_forms(self):
+        assert fleet_preset("elastic").autoscaler.enabled
+        assert not fleet_preset("fixed").autoscaler.enabled
+        assert fleet_preset("round_robin").router == "round_robin"
+        combined = fleet_preset("memory_headroom/elastic")
+        assert combined.router == "memory_headroom"
+        assert combined.autoscaler.enabled
+        assert "fixed" in list_autoscaler_presets()
+
+
+class TestRouterStrategies:
+    def test_memory_headroom_prefers_absolute_free_bytes(self):
+        groups = [
+            # Lower ratio but less absolute headroom...
+            StubGroup(0, capacity=1000, demand=400),
+            # ...vs a bigger (merged) group with more free bytes.
+            StubGroup(1, capacity=4000, demand=2000),
+        ]
+        assert make_router("memory_headroom").route(request(), groups).group_id == 1
+        assert make_router("least_loaded").route(request(), groups).group_id == 0
+
+    def test_power_of_two_choices_is_seed_deterministic(self):
+        groups = [StubGroup(i, demand=100 * i) for i in range(6)]
+        picks_a = [
+            make_router("power_of_two_choices", seed=5).route(request(i), groups).group_id
+            for i in range(10)
+        ]
+        router = make_router("power_of_two_choices", seed=5)
+        picks_b = [router.route(request(i), groups).group_id for i in [0] * 10]
+        # Fresh router per call restarts the stream; one router advances it.
+        assert picks_a[0] == picks_b[0]
+        router_c = make_router("power_of_two_choices", seed=5)
+        picks_c = [router_c.route(request(i), groups).group_id for i in [0] * 10]
+        assert picks_b == picks_c
+
+    def test_power_of_two_picks_less_loaded_of_pair(self):
+        # With exactly two groups the router degenerates to least-loaded.
+        groups = [StubGroup(0, demand=900), StubGroup(1, demand=100)]
+        router = make_router("power_of_two_choices", seed=1)
+        assert all(router.route(request(i), groups).group_id == 1 for i in range(5))
+
+    def test_session_affinity_is_sticky(self):
+        groups = [StubGroup(i) for i in range(4)]
+        router = make_router("session_affinity")
+        reqs = [
+            Request(arrival_time=0.0, prompt_tokens=8, max_output_tokens=4,
+                    session_id="user-42")
+            for _ in range(5)
+        ]
+        picks = {router.route(r, groups).group_id for r in reqs}
+        assert len(picks) == 1
+        other = Request(
+            arrival_time=0.0, prompt_tokens=8, max_output_tokens=4, session_id="user-7"
+        )
+        # A different session may map elsewhere; the same one never does.
+        assert router.route(other, groups).group_id == router.route(other, groups).group_id
+
+    def test_session_affinity_falls_back_when_blocked(self):
+        groups = [StubGroup(i) for i in range(4)]
+        router = make_router("session_affinity")
+        req = Request(
+            arrival_time=0.0, prompt_tokens=8, max_output_tokens=4, session_id="sticky"
+        )
+        home = router.route(req, groups)
+        home.scheduler.memory_blocked = True
+        fallback = router.route(req, groups)
+        assert fallback is not home
+
+
+class TestAdmissionControl:
+    @staticmethod
+    def controller(config: AdmissionConfig, groups):
+        return AdmissionController(
+            config, make_router("least_loaded"), groups_provider=lambda: groups
+        )
+
+    def test_passthrough_when_groups_accept(self):
+        group = StubGroup(0)
+        admission = self.controller(AdmissionConfig(), [group])
+        assert admission.submit(request(), now=0.0) == "dispatched"
+        assert group.enqueued and admission.admitted == 1
+
+    def test_bounded_queue_sheds_overflow(self):
+        group = StubGroup(0, waiting=100)
+        config = AdmissionConfig(max_queue_depth=2, max_group_waiting=10)
+        admission = self.controller(config, [group])
+        outcomes = [admission.submit(request(i), now=0.0) for i in range(4)]
+        assert outcomes == ["queued", "queued", "shed", "shed"]
+        assert admission.shed == 2
+        assert admission.queued == 2
+
+    def test_queue_drains_when_capacity_frees(self):
+        group = StubGroup(0, waiting=100)
+        config = AdmissionConfig(max_queue_depth=10, max_group_waiting=10)
+        admission = self.controller(config, [group])
+        assert admission.submit(request(), now=0.0) == "queued"
+        group.scheduler.num_waiting = 0
+        assert admission.drain(now=1.0) == 1
+        assert admission.queued == 0 and len(group.enqueued) == 1
+
+    def test_memory_blocked_groups_do_not_accept(self):
+        group = StubGroup(0)
+        group.scheduler.memory_blocked = True
+        admission = self.controller(AdmissionConfig(), [group])
+        assert admission.submit(request(), now=0.0) == "queued"
+
+    def test_slo_shed_drops_expired_queued_requests(self):
+        group = StubGroup(0, waiting=100)
+        config = AdmissionConfig(max_group_waiting=10, ttft_shed_s=2.0)
+        admission = self.controller(config, [group])
+        admission.submit(request(0), now=0.0)  # arrival_time 0.0
+        admission.drain(now=1.0)
+        assert admission.shed == 0 and admission.queued == 1
+        admission.drain(now=5.0)  # waited 5 s > 2 s budget
+        assert admission.shed == 1 and admission.queued == 0
+        assert group.enqueued == []
+
+    def test_readmitted_requests_are_never_shed_nor_double_counted(self):
+        group = StubGroup(0, waiting=100)
+        config = AdmissionConfig(max_group_waiting=10, ttft_shed_s=2.0)
+        admission = self.controller(config, [group])
+        old = request(0)  # arrival_time 0.0, already far past the budget
+        assert admission.readmit(old) == "queued"
+        admission.drain(now=50.0)
+        assert admission.shed == 0 and admission.queued == 1
+        group.scheduler.num_waiting = 0
+        admission.drain(now=51.0)
+        # Dispatched despite its age, and not re-counted as admitted.
+        assert admission.queued == 0 and admission.admitted == 0
+        assert len(group.enqueued) == 1
+
+    def test_tenant_fairness_round_robins_between_classes(self):
+        group = StubGroup(0, waiting=100)
+        config = AdmissionConfig(max_group_waiting=10)
+        admission = self.controller(config, [group])
+        chat = [Request(arrival_time=0.0, prompt_tokens=8, max_output_tokens=4,
+                        slo_class="chat") for _ in range(4)]
+        summary = [Request(arrival_time=0.0, prompt_tokens=8, max_output_tokens=4,
+                           slo_class="summary") for _ in range(2)]
+        for r in chat + summary:
+            admission.submit(r, now=0.0)
+        group.scheduler.num_waiting = 0
+        admission.drain(now=1.0)
+        order = [r.slo_class for r in group.enqueued]
+        # Tenants alternate while both have work, regardless of arrival order.
+        assert order[:4] in (["chat", "summary"] * 2, ["summary", "chat"] * 2)
+        assert sorted(order) == ["chat"] * 4 + ["summary"] * 2
+
+
+class TestAutoscalerEndToEnd:
+    ELASTIC = AutoscalerConfig(
+        enabled=True,
+        reserve_instances=1,
+        min_groups=1,
+        scale_up_queue_depth=4,
+        scale_down_idle_ticks=3,
+        cold_start_s=2.0,
+        cooldown_s=4.0,
+    )
+
+    @staticmethod
+    def workload(seed: int = 3, duration_s: float = 20.0):
+        return get_scenario("spike-train").build_workload(
+            ExperimentScale(
+                name="t", num_instances=3, trace_duration_s=duration_s,
+                drain_timeout_s=duration_s,
+            ),
+            seed=seed,
+        )
+
+    def test_reserve_holds_back_spare_instances(self):
+        system = build_system(num_servers=3, autoscaler=self.ELASTIC)
+        assert len(system.instances) == 3
+        assert len(system.groups) == 2
+        assert len(system.fleet.autoscaler.spare_instances) == 1
+        # Spare instances are cold: no weights loaded, no KV capacity.
+        spare = system.fleet.autoscaler.spare_instances[0]
+        assert spare.num_resident_layers == 0
+
+    def test_reserve_never_empties_the_fleet(self):
+        config = AutoscalerConfig(enabled=True, reserve_instances=10)
+        system = build_system(num_servers=2, autoscaler=config)
+        assert len(system.groups) == 1  # clamped: one instance must serve
+
+    def test_scale_up_pays_cold_start_then_scale_down_returns_spare(self):
+        # A 12 s spike followed by a 25 s idle tail: the burst forces a
+        # scale-up, the calm tail lets the autoscaler drain back down.
+        system = build_system(
+            num_servers=3,
+            autoscaler=self.ELASTIC,
+            admission=AdmissionConfig(max_group_waiting=16),
+            drain_timeout_s=25.0,
+        )
+        result = system.run(self.workload(duration_s=12.0))
+        scaler = system.fleet.autoscaler
+        assert scaler.scale_up_events >= 1
+        events = {e["kind"]: e for e in system.metrics.events}
+        assert "fleet-scale-up" in events and "fleet-group-up" in events
+        up = next(e for e in system.metrics.events if e["kind"] == "fleet-scale-up")
+        joined = next(e for e in system.metrics.events if e["kind"] == "fleet-group-up")
+        assert joined["time"] == pytest.approx(up["time"] + self.ELASTIC.cold_start_s)
+        # The burst passes, the fleet shrinks again, work still finished.
+        assert scaler.scale_down_events >= 1
+        assert result.finished_requests > 0
+
+    def test_fixed_preset_never_scales(self):
+        system = build_system(num_servers=2, autoscaler=AutoscalerConfig(enabled=False))
+        system.run(self.workload())
+        stats = system.fleet.stats()
+        assert stats["scale_up_events"] == 0
+        assert stats["scale_down_events"] == 0
+
+    def test_draining_group_is_not_routable(self):
+        system = build_system(num_servers=2, autoscaler=self.ELASTIC)
+        fleet = system.fleet
+        victim = system.groups[0]
+        fleet.autoscaler.draining.append(victim)
+        assert victim not in fleet.routable_groups()
+
+
+class TestServingIntegration:
+    def test_fleet_runs_match_plain_dispatcher_when_permissive(self):
+        """A permissive fixed fleet serves the same workload successfully."""
+        scale = TINY_SCALE
+        plain = run_cell("steady-poisson", "vllm", scale, seed=4)
+        fleet = run_cell("steady-poisson", "vllm", scale, seed=4, fleet="fixed")
+        assert fleet.requests == plain.requests
+        # Admission is pass-through at defaults: nothing shed, all admitted.
+        assert fleet.finished == plain.finished
+        assert fleet.latencies == plain.latencies
+
+    def test_every_policy_composes_with_the_fleet_layer(self):
+        for policy in ("vllm", "infercept", "llumnix", "kunserve"):
+            cell = run_fleet_cell(
+                "steady-poisson", policy, "least_loaded", "elastic", TINY_SCALE, seed=5
+            )
+            assert cell.requests > 0
+            assert cell.finished > 0
+
+    def test_scenario_sweep_fleet_axis_is_additive(self):
+        from repro.scenarios.sweep import run_sweep
+
+        document = run_sweep(
+            scenarios=["steady-poisson"],
+            policies=["vllm"],
+            scale=TINY_SCALE,
+            seed=2,
+            max_workers=1,
+            fleet="elastic",
+        )
+        assert document["fleet"] == "elastic"
+        from repro.scenarios.schema import validate_document as validate_scenario
+
+        assert validate_scenario(document) == []
+        with pytest.raises(KeyError):
+            run_sweep(
+                scenarios=["steady-poisson"],
+                policies=["vllm"],
+                scale=TINY_SCALE,
+                max_workers=1,
+                fleet="no-such-preset",
+            )
+
+
+class TestSchema:
+    def test_schema_contract_is_pinned(self):
+        # The compatibility contract of FLEET_results.json: keys may grow
+        # in a new schema version but must never be renamed or removed.
+        assert SCHEMA_VERSION == 1
+        assert set(DOCUMENT_KEYS) >= {
+            "schema_version",
+            "repro_version",
+            "seed",
+            "scale",
+            "scenarios",
+            "policies",
+            "routers",
+            "autoscalers",
+            "entries",
+            "wall_s_total",
+        }
+        assert set(ENTRY_KEYS) >= {
+            "scenario",
+            "policy",
+            "policy_name",
+            "router",
+            "autoscaler",
+            "workload",
+            "requests",
+            "admitted",
+            "shed",
+            "queue_peak",
+            "scale_up_events",
+            "scale_down_events",
+            "initial_groups",
+            "final_groups",
+            "finished",
+            "completion_ratio",
+            "ttft_p50",
+            "tpot_p50",
+            "throughput_tokens_per_s",
+            "slo_scale",
+            "slo_violation_ratio",
+            "slo_attainment",
+            "wall_s",
+        }
+        assert set(SCALE_KEYS) == {"name", "num_instances", "trace_duration_s", "drain_timeout_s"}
+
+    def test_validate_document_flags_missing_keys(self):
+        assert validate_document({}) != []
+
+    def test_strip_wall_clock_removes_only_wall_clock(self):
+        document = {
+            "schema_version": 1,
+            "wall_s_total": 3.2,
+            "entries": [{"scenario": "x", "wall_s": 1.0, "ttft_p50": 0.5}],
+        }
+        stripped = strip_wall_clock(document)
+        assert "wall_s_total" not in stripped
+        assert "wall_s" not in stripped["entries"][0]
+        assert stripped["entries"][0]["ttft_p50"] == 0.5
+        assert document["wall_s_total"] == 3.2  # original untouched
+
+
+class TestSweep:
+    GRID = dict(
+        scenarios=["spike-train"],
+        policies=["vllm"],
+        routers=["least_loaded", "round_robin", "power_of_two_choices", "memory_headroom"],
+        autoscalers=["fixed", "elastic"],
+    )
+
+    def test_sequential_sweep_emits_valid_document(self, tmp_path):
+        document = run_fleet_sweep(scale=TINY_SCALE, seed=2, max_workers=1, **self.GRID)
+        assert validate_document(document) == []
+        assert len(document["entries"]) == 8  # 4 routers x 2 autoscalers
+        assert document["routers"] == self.GRID["routers"]
+        assert document["autoscalers"] == ["fixed", "elastic"]
+        for entry in document["entries"]:
+            assert entry["requests"] > 0
+            assert entry["admitted"] + entry["shed"] <= entry["requests"] + entry["queue_peak"]
+            assert 0.0 <= entry["slo_violation_ratio"] <= 1.0
+            assert entry["slo_attainment"] == pytest.approx(
+                1.0 - entry["slo_violation_ratio"]
+            )
+            if entry["autoscaler"] == "fixed":
+                assert entry["scale_up_events"] == 0
+                assert entry["initial_groups"] == TINY_SCALE.num_instances
+
+        path = write_results(document, tmp_path / "FLEET_results.json")
+        reloaded = json.loads(path.read_text())
+        assert validate_document(reloaded) == []
+        assert reloaded == document
+
+        text = format_results(document)
+        assert "power_of_two_choices" in text
+        assert "elastic" in text
+
+    def test_sweep_is_deterministic_modulo_wall_clock(self):
+        first = run_fleet_sweep(scale=TINY_SCALE, seed=2, max_workers=1, **self.GRID)
+        second = run_fleet_sweep(scale=TINY_SCALE, seed=2, max_workers=1, **self.GRID)
+        assert strip_wall_clock(first) == strip_wall_clock(second)
+
+    def test_parallel_sweep_matches_sequential(self):
+        sequential = run_fleet_sweep(scale=TINY_SCALE, seed=2, max_workers=1, **self.GRID)
+        parallel = run_fleet_sweep(scale=TINY_SCALE, seed=2, max_workers=2, **self.GRID)
+        assert strip_wall_clock(parallel) == strip_wall_clock(sequential)
+
+    def test_unknown_axis_values_are_rejected(self):
+        with pytest.raises(KeyError):
+            run_fleet_sweep(scenarios=["nope"], scale=TINY_SCALE)
+        with pytest.raises(KeyError):
+            run_fleet_sweep(routers=["nope"], scale=TINY_SCALE)
+        with pytest.raises(KeyError):
+            run_fleet_sweep(autoscalers=["nope"], scale=TINY_SCALE)
+        with pytest.raises(ValueError):
+            run_fleet_sweep(routers=[], scale=TINY_SCALE)
+        with pytest.raises(ValueError):
+            run_fleet_sweep(scale=TINY_SCALE, max_workers=0)
+
+
+class TestCLI:
+    def test_cli_runs_tiny_grid_and_writes_results(self, tmp_path, capsys):
+        from repro.fleet.__main__ import main
+
+        output = tmp_path / "FLEET_results.json"
+        code = main(
+            [
+                "--scenarios", "steady-poisson",
+                "--policies", "vllm",
+                "--routers", "least_loaded", "round_robin",
+                "--autoscalers", "fixed",
+                "--sequential",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        document = json.loads(output.read_text())
+        assert validate_document(document) == []
+        assert len(document["entries"]) == 2
+
+    def test_cli_lists_registries(self, capsys):
+        from repro.fleet.__main__ import main
+
+        assert main(["--list-routers"]) == 0
+        assert "power_of_two_choices" in capsys.readouterr().out
+        assert main(["--list-autoscalers"]) == 0
+        assert "elastic" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_axis(self, capsys):
+        from repro.fleet.__main__ import main
+
+        assert main(["--routers", "nope", "--sequential"]) == 2
