@@ -18,6 +18,11 @@ Memory Management for Efficient Memory Overloading Handling in LLM Serving*
   monitor, end-to-end trace replay).
 * ``repro.workloads`` -- synthetic BurstGPT/ShareGPT/LongBench workloads.
 * ``repro.experiments`` -- one module per paper table / figure.
+* ``repro.scenarios`` -- synthetic stress scenarios and policy sweeps.
+* ``repro.fleet`` -- elastic fleet layer (routing, admission, autoscaling).
+* ``repro.sweeps`` -- unified incremental sweep engine (result cache +
+  shared warm worker pool) behind every sweep CLI.
+* ``repro.bench`` -- benchmark harness for the simulator itself.
 """
 
 from repro.version import __version__

@@ -12,7 +12,9 @@ from repro.bench.harness import (
     CANONICAL_WORKLOAD,
     DEFAULT_OUTPUT,
     EXPERIMENT_RUNNERS,
+    EXTRA_FIELD_RUNNERS,
     TINY_SCALE,
+    entry_dict,
     format_results,
     run_benchmarks,
     run_experiment_benchmark,
@@ -37,9 +39,11 @@ __all__ = [
     "DOCUMENT_KEYS",
     "ENTRY_KEYS",
     "EXPERIMENT_RUNNERS",
+    "EXTRA_FIELD_RUNNERS",
     "SCALE_KEYS",
     "SCHEMA_VERSION",
     "TINY_SCALE",
+    "entry_dict",
     "format_results",
     "run_benchmarks",
     "run_experiment_benchmark",

@@ -7,6 +7,17 @@ wall-clock time and simulated events per second, and writes the results to
 ``BENCH_results.json`` (schema: :mod:`repro.bench.schema`).  Subsequent PRs
 re-run the harness to track the simulator's performance trajectory.
 
+The harness itself is a sweep: every benchmark row is a
+:class:`~repro.sweeps.task.SweepTask` executed inline
+(``max_workers=1``) through the unified engine — inline because the
+event-loop meter must observe the simulated events in this process, and
+*never cached* because benchmark rows measure host time, which is the one
+thing the result cache is explicitly allowed to discard.  The
+``sweep_cache`` row, by contrast, exercises the cache on purpose: it runs
+a scenario+fleet sweep cold into a throwaway cache directory and then
+warm out of it, and reports both wall-clocks so the incremental-sweep win
+is tracked across PRs like any other benchmark.
+
 Two knobs matter:
 
 * ``scale`` — the scenario size.  :data:`CANONICAL_SCALE` is the default
@@ -19,10 +30,12 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import shutil
+import tempfile
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments import (
     figure2,
@@ -46,6 +59,7 @@ from repro.fleet.sweep import run_fleet_sweep
 from repro.scenarios.sweep import run_sweep
 from repro.serving.system import ClusterServingSystem
 from repro.simulation.event_loop import EventLoop
+from repro.sweeps import SweepTask, run_tasks
 from repro.version import __version__
 
 #: Scenario used for trajectory tracking: a 2-instance cluster replaying a
@@ -75,7 +89,12 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_results.json"
 
 @dataclass(frozen=True)
 class BenchEntry:
-    """One benchmark measurement (see :mod:`repro.bench.schema`)."""
+    """One benchmark measurement (see :mod:`repro.bench.schema`).
+
+    ``extra`` holds additive per-row fields (e.g. the ``sweep_cache``
+    row's cold/warm wall-clocks); it is flattened into the entry dict when
+    the document is assembled and stays empty for every other row.
+    """
 
     experiment: str
     kind: str
@@ -85,6 +104,14 @@ class BenchEntry:
     events: int
     events_per_s: float
     finished_requests: int
+    extra: Dict[str, float] = field(default_factory=dict, compare=False)
+
+
+def entry_dict(entry: BenchEntry) -> Dict[str, Any]:
+    """Entry as a document dict, with any additive fields flattened in."""
+    document = asdict(entry)
+    document.update(document.pop("extra"))
+    return document
 
 
 def _metered(fn: Callable[[], Dict[str, float]]) -> Dict[str, float]:
@@ -154,7 +181,8 @@ def _scenario_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
     """A small scenario-grid sweep so its cost is tracked across PRs.
 
     Runs inline (``max_workers=1``) so the event-loop meter in this process
-    sees the simulated events; the parallel path is covered by
+    sees the simulated events, and uncached so the row keeps measuring real
+    execution; the parallel and cached paths are covered by
     ``tests/test_scenarios.py`` and the ``repro.scenarios`` CLI.
     """
     return run_sweep(
@@ -170,7 +198,8 @@ def _fleet_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
     """A small fleet-grid sweep so its cost is tracked across PRs.
 
     Runs inline (``max_workers=1``) so the event-loop meter in this process
-    sees the simulated events; the parallel path is covered by
+    sees the simulated events, and uncached so the row keeps measuring real
+    execution; the parallel and cached paths are covered by
     ``tests/test_fleet.py`` and the ``repro.fleet`` CLI.
     """
     return run_fleet_sweep(
@@ -182,6 +211,58 @@ def _fleet_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
         seed=seed,
         max_workers=1,
     )
+
+
+def _sweep_cache_benchmark(scale: ExperimentScale, seed: int) -> Dict[str, float]:
+    """Cold vs. warm scenario+fleet sweep through the result cache.
+
+    Runs the same grids as the ``scenarios`` and ``fleet`` rows twice
+    against a throwaway cache directory: the first pass computes and
+    populates the cache, the second is served entirely from it.  The
+    additive ``cold_wall_s`` / ``warm_wall_s`` / ``cache_speedup`` fields
+    make the incremental-sweep win visible in ``BENCH_results.json``.
+    """
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-sweep-cache-bench-"))
+
+    def sweep_pair() -> int:
+        scenario_doc = run_sweep(
+            scenarios=("steady-poisson", "spike-train"),
+            policies=("vllm", "kunserve"),
+            scale=dataclasses.replace(scale, name=f"sweep-cache-{scale.name}"),
+            seed=seed,
+            max_workers=1,
+            use_cache=True,
+            cache_dir=cache_dir,
+        )
+        fleet_doc = run_fleet_sweep(
+            scenarios=("steady-poisson",),
+            policies=("vllm",),
+            routers=("least_loaded", "power_of_two_choices"),
+            autoscalers=("fixed", "elastic"),
+            scale=dataclasses.replace(scale, name=f"sweep-cache-fleet-{scale.name}"),
+            seed=seed,
+            max_workers=1,
+            use_cache=True,
+            cache_dir=cache_dir,
+        )
+        return scenario_doc["cache_hits"] + fleet_doc["cache_hits"]
+
+    try:
+        start = time.perf_counter()
+        cold_hits = sweep_pair()
+        cold_wall_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_hits = sweep_pair()
+        warm_wall_s = time.perf_counter() - start
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "cold_wall_s": cold_wall_s,
+        "warm_wall_s": warm_wall_s,
+        "cache_speedup": cold_wall_s / warm_wall_s if warm_wall_s > 0 else 0.0,
+        "cold_cache_hits": float(cold_hits),
+        "warm_cache_hits": float(warm_hits),
+    }
 
 
 #: id -> runner; every runner accepts the scale unless marked analytic.
@@ -203,7 +284,12 @@ EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "table1": lambda scale, seed: table1.run_table1(),
     "scenarios": _scenario_sweep_benchmark,
     "fleet": _fleet_sweep_benchmark,
+    "sweep_cache": _sweep_cache_benchmark,
 }
+
+#: Experiment ids whose runner's return value is a dict of additive entry
+#: fields (everything else returns a document the meter ignores).
+EXTRA_FIELD_RUNNERS = frozenset({"sweep_cache"})
 
 
 def run_experiment_benchmark(
@@ -213,10 +299,15 @@ def run_experiment_benchmark(
     runner = EXPERIMENT_RUNNERS[experiment_id]
 
     def body() -> Dict[str, float]:
-        runner(scale, seed)
-        return {}
+        out = runner(scale, seed)
+        return out if experiment_id in EXTRA_FIELD_RUNNERS else {}
 
     measured = _metered(body)
+    extra = {
+        key: value
+        for key, value in measured.items()
+        if key not in ("wall_s", "events", "events_per_s")
+    }
     return BenchEntry(
         experiment=experiment_id,
         kind="experiment",
@@ -226,7 +317,18 @@ def run_experiment_benchmark(
         events=int(measured["events"]),
         events_per_s=measured["events_per_s"],
         finished_requests=0,
+        extra=extra,
     )
+
+
+def resolve_experiment_ids(experiments: Optional[Sequence[str]]) -> List[str]:
+    """Validate an experiment-id selection (``None`` means every runner)."""
+    ids = list(experiments) if experiments is not None else list(EXPERIMENT_RUNNERS)
+    unknown = [i for i in ids if i not in EXPERIMENT_RUNNERS]
+    if unknown:
+        known = ", ".join(EXPERIMENT_RUNNERS)
+        raise KeyError(f"unknown experiments {unknown}; known: {known}")
+    return ids
 
 
 def run_experiment_benchmarks(
@@ -236,12 +338,31 @@ def run_experiment_benchmarks(
     experiments: Optional[Sequence[str]] = None,
 ) -> List[BenchEntry]:
     """Benchmark the requested (default: all) figure/table experiments."""
-    ids = list(experiments) if experiments is not None else list(EXPERIMENT_RUNNERS)
-    unknown = [i for i in ids if i not in EXPERIMENT_RUNNERS]
-    if unknown:
-        known = ", ".join(EXPERIMENT_RUNNERS)
-        raise KeyError(f"unknown experiments {unknown}; known: {known}")
-    return [run_experiment_benchmark(i, scale, seed=seed) for i in ids]
+    return [
+        run_experiment_benchmark(i, scale, seed=seed)
+        for i in resolve_experiment_ids(experiments)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Sweep-engine adapters (the harness rows as tasks)
+# ----------------------------------------------------------------------
+def run_policy_suite_payload(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Sweep-engine runner: the five per-policy benchmarks as one cell.
+
+    One cell for the whole suite so every policy replays the *same*
+    workload object instead of rebuilding it per policy.
+    """
+    scale = ExperimentScale(**params["scale"])
+    entries = run_policy_benchmarks(scale, seed=seed)
+    return {"entries": [entry_dict(entry) for entry in entries]}
+
+
+def run_experiment_payload(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Sweep-engine runner: one figure/table experiment benchmark."""
+    scale = ExperimentScale(**params["scale"])
+    entry = run_experiment_benchmark(params["experiment"], scale, seed=seed)
+    return {"entries": [entry_dict(entry)]}
 
 
 # ----------------------------------------------------------------------
@@ -256,11 +377,36 @@ def run_benchmarks(
     experiments: Optional[Sequence[str]] = None,
 ) -> Dict:
     """Run the harness and return the ``BENCH_results.json`` document."""
-    entries: List[BenchEntry] = []
+    scale_dict = dataclasses.asdict(scale)
+    tasks: List[SweepTask] = []
     if include_policies:
-        entries.extend(run_policy_benchmarks(scale, seed=seed))
+        tasks.append(
+            SweepTask(
+                runner="repro.bench.harness:run_policy_suite_payload",
+                params={"scale": scale_dict},
+                key={"kind": "bench-policy-suite", "scale": scale_dict},
+                seed=seed,
+                label="policies",
+            )
+        )
     if include_experiments:
-        entries.extend(run_experiment_benchmarks(scale, seed=seed, experiments=experiments))
+        for experiment_id in resolve_experiment_ids(experiments):
+            tasks.append(
+                SweepTask(
+                    runner="repro.bench.harness:run_experiment_payload",
+                    params={"scale": scale_dict, "experiment": experiment_id},
+                    key={
+                        "kind": "bench-experiment",
+                        "experiment": experiment_id,
+                        "scale": scale_dict,
+                    },
+                    seed=seed,
+                    label=experiment_id,
+                )
+            )
+    # Inline, uncached: benchmark rows measure host time on this machine.
+    outcome = run_tasks(tasks, max_workers=1, cache=None)
+    entries = [entry for payload in outcome.results for entry in payload["entries"]]
     return {
         "schema_version": 1,
         "repro_version": __version__,
@@ -270,7 +416,7 @@ def run_benchmarks(
             "trace_duration_s": scale.trace_duration_s,
             "drain_timeout_s": scale.drain_timeout_s,
         },
-        "entries": [asdict(entry) for entry in entries],
+        "entries": entries,
     }
 
 
@@ -295,4 +441,9 @@ def format_results(document: Dict) -> str:
             f"{entry['wall_s']:>8.2f} {entry['events']:>9d} "
             f"{entry['events_per_s']:>10.0f} {entry['finished_requests']:>8d}"
         )
+        if entry["experiment"] == "sweep_cache" and "cache_speedup" in entry:
+            lines.append(
+                f"{'':<18} {'':<12} cold {entry['cold_wall_s']:.2f}s -> warm "
+                f"{entry['warm_wall_s']:.2f}s ({entry['cache_speedup']:.0f}x)"
+            )
     return "\n".join(lines)

@@ -37,8 +37,13 @@ Each entry (one benchmark measurement)::
 Experiment ids are ``policy:<name>`` for the per-policy benchmarks (vllm,
 vllm-pp, infercept, llumnix, kunserve), the module name (``figure2``,
 ``figure5``, ``figure12``..``figure17``, ``table1``) for the figure/table
-experiments, and ``scenarios`` for the scenario-sweep timing row
-(a small ``repro.scenarios`` grid run inline so its cost is tracked).
+experiments, ``scenarios`` / ``fleet`` for the sweep timing rows (small
+grids run inline so their cost is tracked), and ``sweep_cache`` for the
+incremental-sweep row.  Entries may carry *additive* fields beyond
+``ENTRY_KEYS``; the ``sweep_cache`` row adds ``cold_wall_s`` /
+``warm_wall_s`` / ``cache_speedup`` / ``cold_cache_hits`` /
+``warm_cache_hits``, the cold-vs-warm wall-clock of the same
+scenario+fleet sweep run twice through the ``.repro_cache/`` result cache.
 """
 
 from __future__ import annotations

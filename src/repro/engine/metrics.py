@@ -15,7 +15,6 @@ percentiles the experiment modules print.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -84,7 +83,18 @@ class TimelineSeries:
     ``mode='sum'`` accumulates values per bucket (e.g. tokens generated);
     ``mode='mean'`` averages samples per bucket (e.g. memory usage, bubble
     fraction).
+
+    ``add`` sits on simulation hot paths (every iteration completion and
+    monitor tick folds samples in), so accumulation is lazy: each sample is
+    folded straight into a mutable ``[sum, count]`` bucket entry — with the
+    most recent bucket memoised, since consecutive samples almost always
+    land in the same window — and :class:`TimelinePoint` objects are
+    materialised only when a reader asks.  The per-bucket running sums
+    accumulate in exactly the sample order, so reads are bit-identical to
+    the eager implementation this replaced.
     """
+
+    __slots__ = ("window_s", "mode", "_buckets", "_last_bucket", "_last_entry")
 
     def __init__(self, window_s: float = 1.0, mode: str = "mean") -> None:
         if window_s <= 0:
@@ -93,35 +103,51 @@ class TimelineSeries:
             raise ValueError(f"unknown mode {mode!r}")
         self.window_s = float(window_s)
         self.mode = mode
-        self._sums: Dict[int, float] = defaultdict(float)
-        self._counts: Dict[int, int] = defaultdict(int)
+        self._buckets: Dict[int, List[float]] = {}
+        self._last_bucket: Optional[int] = None
+        self._last_entry: Optional[List[float]] = None
 
     def add(self, time: float, value: float) -> None:
         bucket = int(time // self.window_s)
-        self._sums[bucket] += value
-        self._counts[bucket] += 1
+        if bucket == self._last_bucket:
+            entry = self._last_entry
+        else:
+            entry = self._buckets.get(bucket)
+            if entry is None:
+                entry = [0.0, 0]
+                self._buckets[bucket] = entry
+            self._last_bucket = bucket
+            self._last_entry = entry
+        entry[0] += value
+        entry[1] += 1
+
+    def _bucket_value(self, entry: List[float]) -> float:
+        if self.mode == "mean" and entry[1] > 0:
+            return entry[0] / entry[1]
+        return entry[0]
 
     def points(self) -> List[TimelinePoint]:
-        points = []
-        for bucket in sorted(self._sums):
-            value = self._sums[bucket]
-            if self.mode == "mean" and self._counts[bucket] > 0:
-                value /= self._counts[bucket]
-            points.append(TimelinePoint(time=bucket * self.window_s, value=value))
-        return points
+        return [
+            TimelinePoint(time=bucket * self.window_s, value=self._bucket_value(entry))
+            for bucket, entry in sorted(self._buckets.items())
+        ]
 
     def values(self) -> List[float]:
-        return [p.value for p in self.points()]
+        return [
+            self._bucket_value(entry) for _, entry in sorted(self._buckets.items())
+        ]
 
     def max(self) -> float:
-        points = self.points()
-        return max((p.value for p in points), default=0.0)
+        return max(
+            (self._bucket_value(entry) for entry in self._buckets.values()),
+            default=0.0,
+        )
 
     def mean(self) -> float:
-        points = self.points()
-        if not points:
+        if not self._buckets:
             return 0.0
-        return sum(p.value for p in points) / len(points)
+        values = self.values()
+        return sum(values) / len(values)
 
 
 @dataclass

@@ -1,15 +1,17 @@
 """CLI entry point: ``python -m repro.fleet``.
 
 Sweeps a scenario across router strategies × autoscaler presets (the
-elastic-fleet grid) and writes ``FLEET_results.json`` to the repository
-root (see ``--output``).  ``--list-routers`` / ``--list-autoscalers``
-show the registries.
+elastic-fleet grid) through the unified sweep engine (:mod:`repro.sweeps`)
+and writes ``FLEET_results.json`` to the repository root (see
+``--output``).  Unchanged cells are served from the on-disk result cache
+(``.repro_cache/``); disable with ``--no-cache``, inspect with
+``--cache-stats``, purge with ``--clear-cache``.  ``--list-routers`` /
+``--list-autoscalers`` show the registries.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 
 from repro.fleet.config import AUTOSCALER_PRESETS, list_autoscaler_presets
@@ -25,6 +27,8 @@ from repro.fleet.sweep import (
 )
 from repro.policies import make_policy
 from repro.scenarios.registry import list_scenarios
+from repro.sweeps import effective_worker_count
+from repro.sweeps.cli import add_cache_arguments, clear_cache, print_cache_stats
 
 
 def main(argv=None) -> int:
@@ -85,6 +89,7 @@ def main(argv=None) -> int:
         default=None,
         help="where to write FLEET_results.json (default: repository root)",
     )
+    add_cache_arguments(parser)
     parser.add_argument(
         "--list-routers", action="store_true", help="list router strategies and exit"
     )
@@ -105,16 +110,14 @@ def main(argv=None) -> int:
             state = "elastic" if preset.enabled else "fixed fleet"
             print(f"{name:<10} {state}")
         return 0
+    if args.clear_cache:
+        return clear_cache(args)
 
     try:
         for policy in args.policies or ():
             make_policy(policy)  # fail fast on typos before spawning workers
         max_workers = 1 if args.sequential else args.workers
         if max_workers is None:
-            try:
-                cpus = len(os.sched_getaffinity(0))
-            except AttributeError:  # pragma: no cover - non-Linux
-                cpus = os.cpu_count() or 1
             names = args.scenarios or list(DEFAULT_SCENARIOS)
             grid = (
                 len([n for n in names if n in list_scenarios()])
@@ -126,7 +129,7 @@ def main(argv=None) -> int:
                     else list_autoscaler_presets()
                 )
             )
-            max_workers = max(1, min(grid, cpus))
+            max_workers = max(1, min(grid, effective_worker_count()))
         document = run_fleet_sweep(
             scenarios=args.scenarios,
             policies=args.policies,
@@ -135,6 +138,8 @@ def main(argv=None) -> int:
             scale=FLEET_SCALES[args.scale],
             seed=args.seed,
             max_workers=max_workers,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -145,6 +150,8 @@ def main(argv=None) -> int:
         return 1
     path = write_results(document, args.output)
     print(format_results(document))
+    if args.cache_stats:
+        print_cache_stats(document, args)
     print(f"\nwrote {path}")
     return 0
 

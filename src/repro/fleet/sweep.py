@@ -1,15 +1,20 @@
-"""Parallel fleet sweep: scenario × policy × router × autoscaler grid.
+"""Fleet sweep (scenario × policy × router × autoscaler grid), executed by
+the unified sweep engine.
 
 Replays registered scenarios (:mod:`repro.scenarios.registry`) through
 fleet-enabled serving systems, varying the router strategy and the
 autoscaler preset, and aggregates the results into a stable-schema
 ``FLEET_results.json`` document (:mod:`repro.fleet.schema`).
 
-Mirrors the ``repro.scenarios`` sweep machinery: cells fan out across
-worker processes (each builds its own system from scratch), every cell is
-seeded independently of execution order, and the document is assembled in
-grid order — so output is bit-identical across runs and across parallel
-vs. sequential execution, modulo the ``wall_s*`` fields.
+Execution mirrors :mod:`repro.scenarios.sweep` exactly: every cell is a
+:class:`~repro.sweeps.task.SweepTask` (content hash over the scenario
+fingerprint, policy, router, autoscaler, admission settings, scale, seed
+and ``repro`` version), cache hits skip recomputation entirely, and
+misses fan out over the engine's shared warm worker pool.  Every cell is
+seeded independently of execution order and results are JSON-normalised
+and assembled in grid order — so output is bit-identical across runs,
+across parallel vs. sequential execution, and across cold vs. warm
+caches, modulo the ``wall_s*`` and cache-accounting fields.
 """
 
 from __future__ import annotations
@@ -17,10 +22,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments.runner import ExperimentScale
 from repro.fleet.config import AdmissionConfig, list_autoscaler_presets, make_fleet_config
@@ -28,8 +31,9 @@ from repro.fleet.routing import list_routers
 from repro.fleet.schema import SCHEMA_VERSION
 from repro.policies import make_policy
 from repro.scenarios.registry import ScenarioSpec, get_scenario, list_scenarios
-from repro.scenarios.sweep import build_cell_config
+from repro.scenarios.sweep import build_cell_config, spec_fingerprint
 from repro.serving.system import ClusterServingSystem
+from repro.sweeps import ResultCache, SweepTask, run_tasks
 from repro.version import __version__
 from repro.workloads.slo import LatencyRecord, baseline_p50, slo_violation_ratio
 
@@ -71,7 +75,7 @@ SWEEP_ADMISSION = AdmissionConfig(
 DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "FLEET_results.json"
 
 
-@dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True)
 class FleetCellResult:
     """Raw outcome of one grid cell, before SLO aggregation.
 
@@ -104,11 +108,8 @@ def run_fleet_cell(
     scale: ExperimentScale,
     seed: int = 42,
 ) -> FleetCellResult:
-    """Run one scenario under one (policy, router, autoscaler) combination.
-
-    Top-level and picklable-argument by design: ``ProcessPoolExecutor``
-    workers call exactly this.
-    """
+    """Run one scenario under one (policy, router, autoscaler) combination;
+    the in-process cell primitive."""
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     workload = spec.build_workload(scale, seed)
     policy = make_policy(policy_key)
@@ -139,15 +140,59 @@ def run_fleet_cell(
     )
 
 
-def _run_cell_star(
-    args: Tuple[ScenarioSpec, str, str, str, ExperimentScale, int]
-) -> FleetCellResult:
-    """Unpack helper for ``ProcessPoolExecutor.map``."""
-    return run_fleet_cell(*args)
+# ----------------------------------------------------------------------
+# Sweep-engine adapter
+# ----------------------------------------------------------------------
+def run_fleet_cell_payload(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Sweep-engine runner: one fleet cell as a JSON-able payload."""
+    cell = run_fleet_cell(
+        params["scenario"],
+        params["policy"],
+        params["router"],
+        params["autoscaler"],
+        params["scale"],
+        seed,
+    )
+    return dataclasses.asdict(cell)
 
 
-def _scenario_entries(spec: ScenarioSpec, cells: Sequence[FleetCellResult]) -> List[Dict]:
-    """Turn one scenario's cells into schema entries with derived SLOs.
+def fleet_cell_task(
+    spec: ScenarioSpec,
+    policy: str,
+    router: str,
+    autoscaler: str,
+    scale: ExperimentScale,
+    seed: int,
+) -> SweepTask:
+    """Describe one fleet grid cell as a cacheable sweep task."""
+    return SweepTask(
+        runner="repro.fleet.sweep:run_fleet_cell_payload",
+        params={
+            "scenario": spec,
+            "policy": policy,
+            "router": router,
+            "autoscaler": autoscaler,
+            "scale": scale,
+        },
+        key={
+            "kind": "fleet-cell",
+            "schema_version": SCHEMA_VERSION,
+            "scenario": spec_fingerprint(spec),
+            "policy": policy,
+            "router": router,
+            "autoscaler": autoscaler,
+            "admission": dataclasses.asdict(SWEEP_ADMISSION),
+            "scale": dataclasses.asdict(scale),
+        },
+        seed=seed,
+        label=f"{spec.name}/{policy}/{router}/{autoscaler}",
+    )
+
+
+def _scenario_entries(
+    spec: ScenarioSpec, cells: Sequence[Dict[str, Any]]
+) -> List[Dict]:
+    """Turn one scenario's cell payloads into schema entries with derived SLOs.
 
     The SLO reference point is the best cell's P50 (TTFT and TPOT
     independently) *within this scenario* across the whole fleet grid,
@@ -155,7 +200,7 @@ def _scenario_entries(spec: ScenarioSpec, cells: Sequence[FleetCellResult]) -> L
     fleet configurations standing in for policies.
     """
     records_by_cell = {
-        index: [LatencyRecord(t, p) for t, p in cell.latencies]
+        index: [LatencyRecord(t, p) for t, p in cell["latencies"]]
         for index, cell in enumerate(cells)
     }
     best_ttft, best_tpot = baseline_p50(records_by_cell)
@@ -166,38 +211,39 @@ def _scenario_entries(spec: ScenarioSpec, cells: Sequence[FleetCellResult]) -> L
         violation = slo_violation_ratio(
             records_by_cell[index], ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s
         )
-        stats = cell.fleet_stats
+        stats = cell["fleet_stats"]
+        summary = cell["summary"]
         entries.append(
             {
-                "scenario": cell.scenario,
-                "policy": cell.policy,
-                "policy_name": cell.policy_name,
-                "router": cell.router,
-                "autoscaler": cell.autoscaler,
-                "workload": cell.workload,
-                "requests": cell.requests,
+                "scenario": cell["scenario"],
+                "policy": cell["policy"],
+                "policy_name": cell["policy_name"],
+                "router": cell["router"],
+                "autoscaler": cell["autoscaler"],
+                "workload": cell["workload"],
+                "requests": cell["requests"],
                 "admitted": int(stats["admitted"]),
                 "shed": int(stats["shed"]),
                 "queue_peak": int(stats["queue_peak"]),
                 "scale_up_events": int(stats["scale_up_events"]),
                 "scale_down_events": int(stats["scale_down_events"]),
-                "initial_groups": cell.initial_groups,
+                "initial_groups": cell["initial_groups"],
                 "final_groups": int(stats["final_groups"]),
-                "finished": cell.finished,
-                "completion_ratio": cell.completion_ratio,
-                "ttft_p50": cell.summary["ttft_p50"],
-                "ttft_p90": cell.summary["ttft_p90"],
-                "ttft_p99": cell.summary["ttft_p99"],
-                "tpot_p50": cell.summary["tpot_p50"],
-                "tpot_p90": cell.summary["tpot_p90"],
-                "tpot_p99": cell.summary["tpot_p99"],
-                "throughput_tokens_per_s": cell.summary["throughput_tokens_per_s"],
+                "finished": cell["finished"],
+                "completion_ratio": cell["completion_ratio"],
+                "ttft_p50": summary["ttft_p50"],
+                "ttft_p90": summary["ttft_p90"],
+                "ttft_p99": summary["ttft_p99"],
+                "tpot_p50": summary["tpot_p50"],
+                "tpot_p90": summary["tpot_p90"],
+                "tpot_p99": summary["tpot_p99"],
+                "throughput_tokens_per_s": summary["throughput_tokens_per_s"],
                 "slo_scale": spec.slo_scale,
                 "ttft_slo_s": ttft_slo_s,
                 "tpot_slo_s": tpot_slo_s,
                 "slo_violation_ratio": violation,
                 "slo_attainment": 1.0 - violation,
-                "wall_s": cell.wall_s,
+                "wall_s": cell["wall_s"],
             }
         )
     return entries
@@ -212,6 +258,8 @@ def run_fleet_sweep(
     scale: ExperimentScale = QUICK_FLEET_SCALE,
     seed: int = 42,
     max_workers: Optional[int] = None,
+    use_cache: bool = False,
+    cache_dir: Optional[Path] = None,
 ) -> Dict:
     """Sweep the scenario × policy × router × autoscaler grid.
 
@@ -223,7 +271,13 @@ def run_fleet_sweep(
         scale: cluster size / trace length of every cell.
         seed: sweep seed; every cell derives its randomness from it.
         max_workers: worker processes; ``1`` runs cells inline (no pool),
-            ``None`` sizes the pool to the grid (capped by the scheduler).
+            ``None`` sizes the pool to the grid (capped by the CPUs this
+            process may use, cgroup limits included).
+        use_cache: serve unchanged cells from the on-disk result cache
+            and store fresh ones (the CLI enables this by default; the
+            Python API defaults to off).
+        cache_dir: cache location override (default ``.repro_cache/`` at
+            the repository root, or ``$REPRO_CACHE_DIR``).
     """
     names = list(scenarios) if scenarios is not None else list(DEFAULT_SCENARIOS)
     policy_keys = list(policies) if policies is not None else list(DEFAULT_POLICIES)
@@ -248,26 +302,22 @@ def run_fleet_sweep(
     if max_workers is not None and max_workers < 1:
         raise ValueError("max_workers must be >= 1")
     specs = [get_scenario(name) for name in names]
-    grid = [
-        (spec, policy, router, scaler, scale, seed)
+    tasks = [
+        fleet_cell_task(spec, policy, router, scaler, scale, seed)
         for spec in specs
         for policy in policy_keys
         for router in router_names
         for scaler in scaler_names
     ]
 
+    cache = ResultCache(cache_dir) if use_cache else None
     start = time.perf_counter()
-    if max_workers == 1:
-        cells = [run_fleet_cell(*task) for task in grid]
-    else:
-        workers = min(max_workers or len(grid), len(grid))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            cells = list(pool.map(_run_cell_star, grid))
+    outcome = run_tasks(tasks, max_workers=max_workers, cache=cache)
     wall_s_total = time.perf_counter() - start
 
-    by_scenario: Dict[str, List[FleetCellResult]] = {name: [] for name in names}
-    for cell in cells:
-        by_scenario[cell.scenario].append(cell)
+    by_scenario: Dict[str, List[Dict[str, Any]]] = {name: [] for name in names}
+    for cell in outcome.results:
+        by_scenario[cell["scenario"]].append(cell)
     entries: List[Dict] = []
     for spec in specs:
         entries.extend(_scenario_entries(spec, by_scenario[spec.name]))
@@ -287,6 +337,8 @@ def run_fleet_sweep(
         "routers": router_names,
         "autoscalers": scaler_names,
         "entries": entries,
+        "cache_hits": outcome.cache_hits,
+        "cache_misses": outcome.cache_misses,
         "wall_s_total": wall_s_total,
     }
 

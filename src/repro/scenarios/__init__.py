@@ -17,6 +17,7 @@ from repro.scenarios.generators import (
     multi_tenant_workload,
     poisson_trace,
     spike_train_trace,
+    stamp_sessions,
 )
 from repro.scenarios.registry import (
     BUILTIN_SCENARIOS,
@@ -44,7 +45,10 @@ from repro.scenarios.sweep import (
     CellResult,
     format_results,
     run_cell,
+    run_cell_payload,
     run_sweep,
+    scenario_cell_task,
+    spec_fingerprint,
     write_results,
 )
 
@@ -75,8 +79,12 @@ __all__ = [
     "poisson_trace",
     "register_scenario",
     "run_cell",
+    "run_cell_payload",
     "run_sweep",
+    "scenario_cell_task",
+    "spec_fingerprint",
     "spike_train_trace",
+    "stamp_sessions",
     "strip_wall_clock",
     "validate_document",
     "write_results",

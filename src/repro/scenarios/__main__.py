@@ -1,14 +1,17 @@
 """CLI entry point: ``python -m repro.scenarios``.
 
-Sweeps the registered scenarios across the overload policies in parallel
-worker processes and writes ``SCENARIO_results.json`` to the repository
-root (see ``--output``).  ``--list`` shows the registry.
+Sweeps the registered scenarios across the overload policies through the
+unified sweep engine (:mod:`repro.sweeps`) and writes
+``SCENARIO_results.json`` to the repository root (see ``--output``).
+Unchanged cells are served from the on-disk result cache
+(``.repro_cache/``), so a rerun recomputes only changed cells; disable
+with ``--no-cache``, inspect with ``--cache-stats``, purge with
+``--clear-cache``.  ``--list`` shows the registry.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 
 from repro.policies import make_policy
@@ -20,6 +23,8 @@ from repro.scenarios.sweep import (
     run_sweep,
     write_results,
 )
+from repro.sweeps import effective_worker_count
+from repro.sweeps.cli import add_cache_arguments, clear_cache, print_cache_stats
 
 
 def main(argv=None) -> int:
@@ -74,6 +79,7 @@ def main(argv=None) -> int:
         default=None,
         help="where to write SCENARIO_results.json (default: repository root)",
     )
+    add_cache_arguments(parser)
     parser.add_argument(
         "--list", action="store_true", help="list registered scenarios and exit"
     )
@@ -84,23 +90,21 @@ def main(argv=None) -> int:
             spec = get_scenario(name)
             print(f"{name:<20} {spec.description}")
         return 0
+    if args.clear_cache:
+        return clear_cache(args)
 
     try:
         for policy in args.policies or ():
             make_policy(policy)  # fail fast on typos before spawning workers
         max_workers = 1 if args.sequential else args.workers
         if max_workers is None:
-            try:
-                cpus = len(os.sched_getaffinity(0))
-            except AttributeError:  # pragma: no cover - non-Linux
-                cpus = os.cpu_count() or 1
             names = args.scenarios or list_scenarios()
             grid = sum(
                 len(args.policies) if args.policies else len(get_scenario(n).policies)
                 for n in names
                 if n in list_scenarios()
             )
-            max_workers = max(1, min(grid, cpus))
+            max_workers = max(1, min(grid, effective_worker_count()))
         document = run_sweep(
             scenarios=args.scenarios,
             policies=args.policies,
@@ -108,6 +112,8 @@ def main(argv=None) -> int:
             seed=args.seed,
             max_workers=max_workers,
             fleet=args.fleet,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -118,6 +124,8 @@ def main(argv=None) -> int:
         return 1
     path = write_results(document, args.output)
     print(format_results(document))
+    if args.cache_stats:
+        print_cache_stats(document, args)
     print(f"\nwrote {path}")
     return 0
 

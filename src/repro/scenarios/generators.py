@@ -28,7 +28,7 @@ for a given seed and independent of call order.
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.simulation.rng import SeededRNG
 from repro.workloads.datasets import DatasetSpec, build_workload
@@ -189,6 +189,56 @@ def spike_train_trace(
     return ArrivalTrace(timestamps=timestamps, name=name)
 
 
+def stamp_sessions(
+    workload: Workload,
+    *,
+    mean_turns: float = 4.0,
+    seed: int = 42,
+    prefix: str = "",
+) -> Workload:
+    """Stamp ``session_id`` on every request, grouping arrivals into
+    multi-turn sessions (in place; returns the workload for chaining).
+
+    Models an open population of chat sessions: walking the requests in
+    arrival order, each one either continues a currently-open session
+    (uniformly chosen) or opens a new one; a new session's turn count is
+    drawn so sessions average ``mean_turns`` turns, and a session closes
+    once its turns are spent.  This gives the fleet layer's
+    session-affinity router real session structure to exercise — repeated
+    turns of one conversation that prefix-reuse could serve from the same
+    group — instead of its SLO-class fallback buckets.
+
+    Only the dedicated RNG stream below is consumed, so stamping never
+    perturbs the arrival or length distributions, and equal (workload,
+    seed) pairs are stamped bit-identically.
+    """
+    if mean_turns < 1.0:
+        raise ValueError("mean_turns must be >= 1")
+    rng = SeededRNG(seed, f"{prefix or workload.name}-sessions")
+    continue_prob = 1.0 - 1.0 / mean_turns
+    open_sessions: List[List] = []  # [session_id, remaining_turns]
+    counter = 0
+    label = prefix or workload.name
+    for request in workload.requests:
+        if open_sessions and float(rng.uniform()) < continue_prob:
+            index = int(rng.integers(0, len(open_sessions)))
+            session = open_sessions[index]
+            request.session_id = session[0]
+            session[1] -= 1
+            if session[1] <= 0:
+                open_sessions.pop(index)
+        else:
+            counter += 1
+            session_id = f"{label}/s{counter:05d}"
+            request.session_id = session_id
+            # Geometric turn count with the configured mean; the first
+            # turn is this request, the rest stay open for continuation.
+            remaining = int(rng.geometric(1.0 / mean_turns)) - 1
+            if remaining > 0:
+                open_sessions.append([session_id, remaining])
+    return workload
+
+
 def multi_tenant_trace(
     traces: Sequence[ArrivalTrace], name: str = "multi-tenant"
 ) -> ArrivalTrace:
@@ -206,12 +256,16 @@ def multi_tenant_workload(
     *,
     seed: int = 42,
     name: str = "multi-tenant",
+    session_turns: Optional[float] = None,
 ) -> Workload:
     """Interleave per-tenant (trace, dataset) pairs into one workload.
 
     Each tenant keeps its own length distribution and SLO class, so the
     merged stream mixes, e.g., short chat turns with long summarisation
     prompts — the regime where one tenant's burst evicts another's KV.
+    ``session_turns`` additionally stamps each tenant's stream with
+    multi-turn session structure (:func:`stamp_sessions`, sessions never
+    span tenants) averaging that many turns per session.
     """
     if not tenants:
         raise ValueError("at least one tenant is required")
@@ -219,6 +273,17 @@ def multi_tenant_workload(
         build_workload(trace, dataset, seed=seed, name=f"{name}/{trace.name}")
         for trace, dataset in tenants
     ]
+    if session_turns is not None:
+        for index, workload in enumerate(workloads):
+            # The tenant index keys both the RNG stream and the id labels,
+            # so tenants whose traces happen to share a name still get
+            # independent session structure and disjoint session ids.
+            stamp_sessions(
+                workload,
+                mean_turns=session_turns,
+                seed=seed,
+                prefix=f"{name}/t{index}/{tenants[index][0].name}",
+            )
     return merge_workloads(workloads, name=name)
 
 

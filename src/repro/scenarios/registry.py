@@ -29,6 +29,7 @@ from repro.scenarios.generators import (
     multi_tenant_workload,
     poisson_trace,
     spike_train_trace,
+    stamp_sessions,
 )
 from repro.workloads.burstgpt import burstgpt_arrival_trace
 from repro.workloads.datasets import (
@@ -126,7 +127,10 @@ def _steady_poisson(scale: ExperimentScale, seed: int) -> Workload:
         seed=seed,
         name="steady-poisson",
     )
-    return build_workload(trace, BURSTGPT_DATASET, seed=seed)
+    # Chat traffic is multi-turn: stamp session structure so affinity
+    # routing sees real conversations (sampling only a dedicated RNG
+    # stream — arrivals and lengths are untouched).
+    return stamp_sessions(build_workload(trace, BURSTGPT_DATASET, seed=seed), seed=seed)
 
 
 def _burst_replay(scale: ExperimentScale, seed: int) -> Workload:
@@ -174,7 +178,7 @@ def _diurnal_chat(scale: ExperimentScale, seed: int) -> Workload:
         seed=seed,
         name="diurnal-chat",
     )
-    return build_workload(trace, SHAREGPT_DATASET, seed=seed)
+    return stamp_sessions(build_workload(trace, SHAREGPT_DATASET, seed=seed), seed=seed)
 
 
 def _spike_train(scale: ExperimentScale, seed: int) -> Workload:
@@ -215,6 +219,7 @@ def _multi_tenant_mix(scale: ExperimentScale, seed: int) -> Workload:
         ],
         seed=seed,
         name="multi-tenant-mix",
+        session_turns=3.0,
     )
 
 

@@ -28,6 +28,9 @@ Top-level document::
       "fleet": str | null,        # fleet preset applied to every cell
                                   # (optional/additive; null = plain dispatcher)
       "entries": [ScenarioEntry, ...],
+      "cache_hits": int,          # cells served from .repro_cache (additive
+                                  # in schema v1; 0 when caching is off)
+      "cache_misses": int,        # cells actually executed this run
       "wall_s_total": float       # host wall-clock of the whole sweep
     }
 
@@ -73,6 +76,10 @@ DOCUMENT_KEYS = (
     "wall_s_total",
 )
 
+#: Additive schema-v1 keys: emitted by current sweeps but not required by
+#: the validator, so documents written before they existed stay valid.
+OPTIONAL_DOCUMENT_KEYS = ("fleet", "cache_hits", "cache_misses")
+
 #: Keys every entry must carry (the stable contract).
 ENTRY_KEYS = (
     "scenario",
@@ -103,8 +110,10 @@ SCALE_KEYS = ("name", "num_instances", "trace_duration_s", "drain_timeout_s")
 #: Entry keys carrying host wall-clock (excluded from determinism checks).
 WALL_CLOCK_ENTRY_KEYS = ("wall_s",)
 
-#: Document keys carrying host wall-clock (excluded from determinism checks).
-WALL_CLOCK_DOCUMENT_KEYS = ("wall_s_total",)
+#: Document keys carrying host-side execution accounting (wall-clock and
+#: cache hit/miss counts) — excluded from determinism checks: a warm rerun
+#: must compare equal to the cold run that populated its cache.
+WALL_CLOCK_DOCUMENT_KEYS = ("wall_s_total", "cache_hits", "cache_misses")
 
 
 def strip_wall_clock(document: Dict) -> Dict:

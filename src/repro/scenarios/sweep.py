@@ -1,34 +1,40 @@
-"""Parallel scenario × policy sweep runner.
+"""Scenario × policy sweep, executed by the unified sweep engine.
 
 Runs a grid of registered scenarios against a set of overload policies and
 aggregates per-cell TTFT/TPOT percentiles, throughput and SLO attainment
 into a stable-schema ``SCENARIO_results.json`` document
 (:mod:`repro.scenarios.schema`).
 
-The simulator is single-threaded and CPU-bound, so the sweep fans cells
-out across worker *processes* (``concurrent.futures.ProcessPoolExecutor``)
-— each cell builds its own :class:`~repro.serving.ClusterServingSystem`
-from scratch in the worker, so cells share no state and the grid scales
-with cores.  Workers receive the :class:`ScenarioSpec` itself (not just a
-name), so scenarios registered at run time survive ``spawn``/``forkserver``
-start methods too — provided their workload factory is a module-level
-function the worker can unpickle, which every built-in is.
+Execution is delegated to :mod:`repro.sweeps`: every cell becomes a
+:class:`~repro.sweeps.task.SweepTask` whose content hash covers the
+scenario fingerprint, policy, scale, fleet preset, seed and ``repro``
+version — so with caching enabled (``use_cache=True``, the CLI default)
+an unchanged cell is a cache hit and a rerun recomputes only changed
+cells.  Misses fan out across the engine's shared warm worker pool; each
+worker builds its own :class:`~repro.serving.ClusterServingSystem` from
+scratch, so cells share no state and the grid scales with cores.  Workers
+receive the :class:`ScenarioSpec` itself (not just a name), so scenarios
+registered at run time survive ``spawn``/``forkserver`` start methods too
+— provided their workload factory is a module-level function the worker
+can unpickle, which every built-in is.
 
-Determinism: every cell is seeded independently of execution order, and
-results are assembled in grid order, so the emitted document is
-bit-identical across runs and across parallel vs. sequential execution —
-except for the wall-clock fields (see
+Determinism: every cell is seeded independently of execution order,
+results are normalised through JSON whether they were computed or served
+from cache, and the document is assembled in grid order — so the emitted
+document is bit-identical across runs, across parallel vs. sequential
+execution, and across cold vs. warm caches, except for the wall-clock and
+cache-accounting fields (see
 :func:`repro.scenarios.schema.strip_wall_clock`).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments.runner import ExperimentScale
 from repro.cluster.specs import cluster_a_spec, cluster_b_spec
@@ -38,6 +44,7 @@ from repro.scenarios.registry import ScenarioSpec, get_scenario, list_scenarios
 from repro.scenarios.schema import SCHEMA_VERSION
 from repro.serving.config import ServingConfig
 from repro.serving.system import ClusterServingSystem
+from repro.sweeps import ResultCache, SweepTask, run_tasks
 from repro.version import __version__
 from repro.workloads.slo import LatencyRecord, baseline_p50, slo_violation_ratio
 
@@ -115,12 +122,11 @@ def run_cell(
     seed: int = 42,
     fleet: Optional[str] = None,
 ) -> CellResult:
-    """Run one scenario under one policy; the unit of parallel work.
+    """Run one scenario under one policy; the in-process cell primitive.
 
-    Top-level and picklable-argument by design: ``ProcessPoolExecutor``
-    workers call exactly this.  Accepts the spec itself (what the sweep
-    sends, so run-time registrations work under any start method) or a
-    registry name.  ``fleet`` optionally names a fleet preset
+    Accepts the spec itself (what the sweep sends, so run-time
+    registrations work under any start method) or a registry name.
+    ``fleet`` optionally names a fleet preset
     (:func:`repro.fleet.config.fleet_preset`, e.g. ``"elastic"`` or
     ``"power_of_two_choices/elastic"``) so the cell runs behind the
     elastic-fleet layer instead of the plain dispatcher.
@@ -149,22 +155,86 @@ def run_cell(
     )
 
 
-def _run_cell_star(
-    args: Tuple[ScenarioSpec, str, ExperimentScale, int, Optional[str]]
-) -> CellResult:
-    """Unpack helper for ``ProcessPoolExecutor.map``."""
-    return run_cell(*args)
+# ----------------------------------------------------------------------
+# Sweep-engine adapter
+# ----------------------------------------------------------------------
+def run_cell_payload(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Sweep-engine runner: one scenario cell as a JSON-able payload."""
+    cell = run_cell(
+        params["scenario"], params["policy"], params["scale"], seed, params["fleet"]
+    )
+    return dataclasses.asdict(cell)
 
 
-def _scenario_entries(spec: ScenarioSpec, cells: Sequence[CellResult]) -> List[Dict]:
-    """Turn one scenario's cells into schema entries with derived SLOs.
+def _model_fingerprint(model) -> Dict[str, Any]:
+    """JSON-able content fingerprint of a ``ModelSpec``.
+
+    The full architecture, not just the name: two specs that differ only
+    in (say) layer count or KV width produce different simulation results
+    and must hash differently.
+    """
+    material = dataclasses.asdict(model)
+    material["attention"] = model.attention.value
+    material["default_parallelism"] = dataclasses.asdict(model.default_parallelism)
+    return material
+
+
+def spec_fingerprint(spec: ScenarioSpec) -> Dict[str, Any]:
+    """JSON-able content fingerprint of a scenario (part of the cache key).
+
+    Covers everything about the spec that influences a cell's result: the
+    workload factory's import path plus the serving-side knobs and the
+    full model architecture.  Code changes *inside* a factory are covered
+    by the ``repro`` version in the task hash, not here.
+    """
+    factory = spec.workload_factory
+    return {
+        "name": spec.name,
+        "factory": f"{getattr(factory, '__module__', '?')}:"
+        f"{getattr(factory, '__qualname__', repr(factory))}",
+        "model": _model_fingerprint(spec.model),
+        "gpus_per_instance": spec.gpus_per_instance,
+        "token_budget": spec.token_budget,
+        "slo_scale": spec.slo_scale,
+    }
+
+
+def scenario_cell_task(
+    spec: ScenarioSpec,
+    policy: str,
+    scale: ExperimentScale,
+    seed: int,
+    fleet: Optional[str],
+) -> SweepTask:
+    """Describe one scenario × policy cell as a cacheable sweep task."""
+    return SweepTask(
+        runner="repro.scenarios.sweep:run_cell_payload",
+        params={"scenario": spec, "policy": policy, "scale": scale, "fleet": fleet},
+        key={
+            "kind": "scenario-cell",
+            "schema_version": SCHEMA_VERSION,
+            "scenario": spec_fingerprint(spec),
+            "policy": policy,
+            "scale": dataclasses.asdict(scale),
+            "fleet": fleet,
+        },
+        seed=seed,
+        label=f"{spec.name}/{policy}",
+    )
+
+
+def _scenario_entries(
+    spec: ScenarioSpec, cells: Sequence[Dict[str, Any]]
+) -> List[Dict]:
+    """Turn one scenario's cell payloads into schema entries with derived SLOs.
 
     Following the paper's Figure 13 convention, the SLO reference point is
     the best policy's P50 (TTFT and TPOT independently) *within this
     scenario*, scaled by the scenario's ``slo_scale``.
     """
     records_by_policy = {
-        cell.policy: [LatencyRecord(t, p) for t, p in cell.latencies] for cell in cells
+        cell["policy"]: [LatencyRecord(t, p) for t, p in cell["latencies"]]
+        for cell in cells
     }
     best_ttft, best_tpot = baseline_p50(records_by_policy)
     ttft_slo_s = spec.slo_scale * best_ttft
@@ -172,30 +242,33 @@ def _scenario_entries(spec: ScenarioSpec, cells: Sequence[CellResult]) -> List[D
     entries = []
     for cell in cells:
         violation = slo_violation_ratio(
-            records_by_policy[cell.policy], ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s
+            records_by_policy[cell["policy"]],
+            ttft_slo_s=ttft_slo_s,
+            tpot_slo_s=tpot_slo_s,
         )
+        summary = cell["summary"]
         entries.append(
             {
-                "scenario": cell.scenario,
-                "policy": cell.policy,
-                "policy_name": cell.policy_name,
-                "workload": cell.workload,
-                "requests": cell.requests,
-                "finished": cell.finished,
-                "completion_ratio": cell.completion_ratio,
-                "ttft_p50": cell.summary["ttft_p50"],
-                "ttft_p90": cell.summary["ttft_p90"],
-                "ttft_p99": cell.summary["ttft_p99"],
-                "tpot_p50": cell.summary["tpot_p50"],
-                "tpot_p90": cell.summary["tpot_p90"],
-                "tpot_p99": cell.summary["tpot_p99"],
-                "throughput_tokens_per_s": cell.summary["throughput_tokens_per_s"],
+                "scenario": cell["scenario"],
+                "policy": cell["policy"],
+                "policy_name": cell["policy_name"],
+                "workload": cell["workload"],
+                "requests": cell["requests"],
+                "finished": cell["finished"],
+                "completion_ratio": cell["completion_ratio"],
+                "ttft_p50": summary["ttft_p50"],
+                "ttft_p90": summary["ttft_p90"],
+                "ttft_p99": summary["ttft_p99"],
+                "tpot_p50": summary["tpot_p50"],
+                "tpot_p90": summary["tpot_p90"],
+                "tpot_p99": summary["tpot_p99"],
+                "throughput_tokens_per_s": summary["throughput_tokens_per_s"],
                 "slo_scale": spec.slo_scale,
                 "ttft_slo_s": ttft_slo_s,
                 "tpot_slo_s": tpot_slo_s,
                 "slo_violation_ratio": violation,
                 "slo_attainment": 1.0 - violation,
-                "wall_s": cell.wall_s,
+                "wall_s": cell["wall_s"],
             }
         )
     return entries
@@ -209,6 +282,8 @@ def run_sweep(
     seed: int = 42,
     max_workers: Optional[int] = None,
     fleet: Optional[str] = None,
+    use_cache: bool = False,
+    cache_dir: Optional[Path] = None,
 ) -> Dict:
     """Sweep the scenario × policy grid; return the results document.
 
@@ -220,10 +295,17 @@ def run_sweep(
         scale: cluster size / trace length of every cell.
         seed: sweep seed; every cell derives its randomness from it.
         max_workers: worker processes; ``1`` runs cells inline (no pool),
-            ``None`` sizes the pool to the grid (capped by the scheduler).
+            ``None`` sizes the pool to the grid (capped by the CPUs this
+            process may use, cgroup limits included).
         fleet: optional fleet preset applied to every cell (the fleet
             axis; see :func:`repro.fleet.config.fleet_preset`).  ``None``
             keeps the classic plain-dispatcher cells.
+        use_cache: serve unchanged cells from the on-disk result cache
+            and store fresh ones (the CLI enables this by default; the
+            Python API defaults to off so tests and benchmarks measure
+            real execution unless they opt in).
+        cache_dir: cache location override (default ``.repro_cache/`` at
+            the repository root, or ``$REPRO_CACHE_DIR``).
     """
     if fleet is not None:
         fleet_preset(fleet)  # fail fast on unknown presets
@@ -236,26 +318,22 @@ def run_sweep(
     if max_workers is not None and max_workers < 1:
         raise ValueError("max_workers must be >= 1")
     specs = [get_scenario(name) for name in names]
-    grid = [
-        (spec, policy, scale, seed, fleet)
+    tasks = [
+        scenario_cell_task(spec, policy, scale, seed, fleet)
         for spec in specs
         for policy in (policies if policies is not None else spec.policies)
     ]
     # Union of swept policy keys, first-seen order (for the document header).
-    policy_list = list(dict.fromkeys(task[1] for task in grid))
+    policy_list = list(dict.fromkeys(task.params["policy"] for task in tasks))
 
+    cache = ResultCache(cache_dir) if use_cache else None
     start = time.perf_counter()
-    if max_workers == 1:
-        cells = [run_cell(*task) for task in grid]
-    else:
-        workers = min(max_workers or len(grid), len(grid))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            cells = list(pool.map(_run_cell_star, grid))
+    outcome = run_tasks(tasks, max_workers=max_workers, cache=cache)
     wall_s_total = time.perf_counter() - start
 
-    by_scenario: Dict[str, List[CellResult]] = {name: [] for name in names}
-    for cell in cells:
-        by_scenario[cell.scenario].append(cell)
+    by_scenario: Dict[str, List[Dict[str, Any]]] = {name: [] for name in names}
+    for cell in outcome.results:
+        by_scenario[cell["scenario"]].append(cell)
     entries: List[Dict] = []
     for spec in specs:
         entries.extend(_scenario_entries(spec, by_scenario[spec.name]))
@@ -274,6 +352,8 @@ def run_sweep(
         "policies": policy_list,
         "fleet": fleet,
         "entries": entries,
+        "cache_hits": outcome.cache_hits,
+        "cache_misses": outcome.cache_misses,
         "wall_s_total": wall_s_total,
     }
 

@@ -13,6 +13,11 @@ from typing import Callable, Optional
 
 from repro.simulation.clock import Clock
 
+#: Sentinels folding the Optional ``until`` / ``max_events`` run() limits
+#: into branch-free comparisons on the hot path.
+_NO_HORIZON = float("inf")
+_NO_LIMIT = float("inf")
+
 
 class Event:
     """A scheduled callback.
@@ -127,13 +132,9 @@ class EventLoop:
             raise ValueError(
                 f"cannot schedule event in the past: now={self.now}, at={timestamp}"
             )
-        event = Event(
-            time=float(timestamp),
-            priority=priority,
-            seq=next(self._counter),
-            callback=callback,
-            name=name,
-        )
+        # Positional construction: this allocates one Event per scheduled
+        # callback, which is the dominant remaining allocation of the loop.
+        event = Event(float(timestamp), priority, next(self._counter), callback, name)
         heapq.heappush(self._heap, event)
         return event
 
@@ -165,30 +166,33 @@ class EventLoop:
         executed = 0
         self._running = True
         # Local aliases: this loop pops every event of the simulation, so
-        # attribute lookups on the hot path are hoisted out of it.
+        # attribute lookups on the hot path are hoisted out of it, the
+        # Optional horizon/limit checks are folded into plain float/int
+        # comparisons, and the instance/class counters are updated once on
+        # the way out instead of per event.
         heap = self._heap
         pop = heapq.heappop
-        clock = self.clock
+        advance = self.clock.advance_to
+        horizon = until if until is not None else _NO_HORIZON
+        limit = max_events if max_events is not None else _NO_LIMIT
         try:
-            while True:
-                if max_events is not None and executed >= max_events:
-                    break
+            while executed < limit:
                 while heap and heap[0].cancelled:
                     pop(heap)
                 if not heap:
                     break
-                if until is not None and heap[0].time > until:
+                if heap[0].time > horizon:
                     # Nothing else happens inside the horizon; park the clock
                     # at the horizon so callers observe a consistent end time.
-                    clock.advance_to(until)
+                    advance(until)
                     break
                 event = pop(heap)
-                clock.advance_to(event.time)
-                self._events_executed += 1
+                advance(event.time)
                 event.callback()
                 executed += 1
         finally:
             self._running = False
+            self._events_executed += executed
             EventLoop.lifetime_events += executed
         return executed
 

@@ -62,5 +62,8 @@ class SeededRNG:
     def poisson(self, lam: float, size=None):
         return self._generator.poisson(lam, size)
 
+    def geometric(self, p: float, size=None):
+        return self._generator.geometric(p, size)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SeededRNG(seed={self.seed}, name={self.name!r})"

@@ -1,0 +1,59 @@
+"""Shared cache-related CLI surface for the sweep front-ends.
+
+``python -m repro.scenarios`` and ``python -m repro.fleet`` expose the
+same result-cache controls; defining the argparse block and its handling
+once here keeps the two CLIs in lockstep.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict
+
+from repro.sweeps.cache import ResultCache, default_cache_dir
+
+
+def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``--no-cache`` / ``--cache-stats`` / ``--clear-cache`` /
+    ``--cache-dir`` options on a sweep CLI parser."""
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of serving unchanged cells from "
+        "the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print cache hit/miss counts after the sweep",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="purge the result cache and exit",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: .repro_cache/ at the "
+        "repository root, or $REPRO_CACHE_DIR)",
+    )
+
+
+def clear_cache(args: argparse.Namespace) -> int:
+    """Handle ``--clear-cache``: purge and report; returns the exit code."""
+    cache = ResultCache(args.cache_dir)
+    removed = cache.clear()
+    print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
+def print_cache_stats(document: Dict, args: argparse.Namespace) -> None:
+    """Handle ``--cache-stats``: one summary line after the sweep table."""
+    cells = document["cache_hits"] + document["cache_misses"]
+    print(
+        f"cache: {document['cache_hits']}/{cells} cells served from "
+        f"{args.cache_dir or default_cache_dir()}"
+        + (" (caching disabled)" if args.no_cache else "")
+    )

@@ -9,7 +9,7 @@ An :class:`ArrivalTrace` is just a sorted list of arrival timestamps; a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -73,12 +73,20 @@ class ArrivalTrace:
 
 @dataclass
 class TracedRequest:
-    """One request of a workload: when it arrives and how long it is."""
+    """One request of a workload: when it arrives and how long it is.
+
+    ``session_id`` marks the request as one turn of a multi-turn session
+    (stamped by :func:`repro.scenarios.generators.stamp_sessions`); the
+    fleet layer's session-affinity router keeps equal ids on the same
+    serving group so KV prefix reuse is possible.  ``None`` means a
+    single-shot request.
+    """
 
     arrival_time: float
     prompt_tokens: int
     output_tokens: int
     slo_class: str = "chat"
+    session_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0 or self.output_tokens <= 0:
@@ -135,6 +143,7 @@ class Workload:
                 prompt_tokens=r.prompt_tokens,
                 max_output_tokens=r.output_tokens,
                 slo_class=r.slo_class,
+                session_id=r.session_id,
             )
             for r in self.requests
         ]

@@ -88,6 +88,7 @@ class TestSchema:
             "table1",
             "scenarios",
             "fleet",
+            "sweep_cache",
         }
 
 
@@ -138,6 +139,27 @@ class TestHarnessSmoke:
         assert entry.experiment == "fleet"
         assert entry.wall_s > 0
         assert entry.events > 0  # runs inline, so the event meter sees it
+
+    def test_sweep_cache_row_shows_warm_speedup(self):
+        entry = run_experiment_benchmark("sweep_cache", TINY_SCALE, seed=1)
+        assert entry.kind == "experiment"
+        assert entry.experiment == "sweep_cache"
+        extra = entry.extra
+        assert extra["cold_wall_s"] > 0 and extra["warm_wall_s"] > 0
+        # The warm pass is served entirely from the cache...
+        assert extra["cold_cache_hits"] == 0
+        assert extra["warm_cache_hits"] == 8  # 4 scenario + 4 fleet cells
+        # ...and even at tiny scale that is far faster than recomputing.
+        assert extra["cache_speedup"] > 5.0
+        # The additive fields are flattened into the document entry.
+        document = run_benchmarks(
+            TINY_SCALE, seed=1, include_policies=False, experiments=["sweep_cache"]
+        )
+        (entry_doc,) = document["entries"]
+        assert entry_doc["cache_speedup"] > 5.0
+        assert entry_doc["warm_cache_hits"] == 8
+        assert "extra" not in entry_doc
+        assert validate_document(document) == []
 
     def test_unknown_experiment_is_rejected(self):
         with pytest.raises(KeyError):

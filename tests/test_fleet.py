@@ -478,6 +478,19 @@ class TestSweep:
         parallel = run_fleet_sweep(scale=TINY_SCALE, seed=2, max_workers=2, **self.GRID)
         assert strip_wall_clock(parallel) == strip_wall_clock(sequential)
 
+    def test_warm_rerun_is_served_from_cache_and_identical(self, tmp_path):
+        cold = run_fleet_sweep(
+            scale=TINY_SCALE, seed=2, max_workers=1,
+            use_cache=True, cache_dir=tmp_path, **self.GRID,
+        )
+        warm = run_fleet_sweep(
+            scale=TINY_SCALE, seed=2, max_workers=1,
+            use_cache=True, cache_dir=tmp_path, **self.GRID,
+        )
+        assert cold["cache_hits"] == 0 and cold["cache_misses"] == 8
+        assert warm["cache_hits"] == 8 and warm["cache_misses"] == 0
+        assert strip_wall_clock(warm) == strip_wall_clock(cold)
+
     def test_unknown_axis_values_are_rejected(self):
         with pytest.raises(KeyError):
             run_fleet_sweep(scenarios=["nope"], scale=TINY_SCALE)

@@ -1,0 +1,261 @@
+"""Tests for the unified sweep engine (``repro.sweeps``).
+
+Covers the content-hash contract of :class:`SweepTask` (config / seed /
+version sensitivity), the on-disk result cache (hit, miss, invalidation,
+corrupted-entry recovery, atomicity basics), the executor (order
+preservation, inline vs. pooled determinism, cache integration) and the
+cgroup-aware worker sizing helper.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.version as repro_version
+from repro.experiments.runner import ExperimentScale
+from repro.sweeps import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    SweepTask,
+    canonical_json,
+    effective_worker_count,
+    run_tasks,
+)
+from repro.sweeps import executor as executor_module
+
+#: Scale small enough that a real sweep cell completes in under a second.
+TINY_SCALE = ExperimentScale(
+    name="sweeps-tiny",
+    num_instances=2,
+    trace_duration_s=5.0,
+    drain_timeout_s=5.0,
+)
+
+
+def echo_runner(params, seed):
+    """Trivial runner used by the engine tests (importable by workers)."""
+    return {"echo": dict(params.get("payload", {})), "seed": seed}
+
+
+def make_task(payload=None, seed=1, key=None):
+    payload = payload if payload is not None else {"x": 1}
+    return SweepTask(
+        runner="tests.test_sweeps:echo_runner",
+        params={"payload": payload},
+        key=key if key is not None else {"payload": payload},
+        seed=seed,
+    )
+
+
+class TestTaskHash:
+    def test_hash_is_stable_and_deterministic(self):
+        assert make_task().content_hash() == make_task().content_hash()
+
+    def test_hash_changes_on_config_seed_and_runner(self):
+        base = make_task().content_hash()
+        assert make_task(payload={"x": 2}).content_hash() != base
+        assert make_task(seed=2).content_hash() != base
+        other_runner = SweepTask(
+            runner="tests.test_sweeps:other", params={}, key={"payload": {"x": 1}}, seed=1
+        )
+        assert other_runner.content_hash() != base
+
+    def test_hash_changes_on_repro_version_bump(self, monkeypatch):
+        base = make_task().content_hash()
+        monkeypatch.setattr(repro_version, "__version__", "999.0.0")
+        assert make_task().content_hash() != base
+
+    def test_hash_ignores_params_and_label(self):
+        # Identity is the JSON key, not the picklable params or the label.
+        a = SweepTask(runner="m:f", params={"heavy": object()}, key={"k": 1}, seed=1)
+        b = SweepTask(runner="m:f", params={}, key={"k": 1}, seed=1, label="pretty")
+        assert a.content_hash() == b.content_hash()
+
+    def test_non_json_key_is_rejected_at_hash_time(self):
+        task = SweepTask(runner="m:f", params={}, key={"bad": object()}, seed=1)
+        with pytest.raises(TypeError):
+            task.content_hash()
+
+    def test_runner_reference_must_name_a_function(self):
+        with pytest.raises(ValueError):
+            SweepTask(runner="not-a-reference", params={}, key={}, seed=1)
+
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = make_task()
+        assert cache.load(task) is None
+        cache.store(task, {"value": 3.25})
+        assert cache.load(task) == {"value": 3.25}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_config_and_seed_changes_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_task(), {"value": 1})
+        assert cache.load(make_task(payload={"x": 2})) is None
+        assert cache.load(make_task(seed=9)) is None
+        assert cache.load(make_task()) == {"value": 1}
+
+    def test_repro_version_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.store(make_task(), {"value": 1})
+        monkeypatch.setattr(repro_version, "__version__", "999.0.0")
+        assert cache.load(make_task()) is None
+
+    def test_corrupted_entry_recovers_to_recompute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = make_task()
+        path = cache.store(task, {"value": 1})
+        path.write_text("{not json at all")
+        assert cache.load(task) is None  # corrupt -> miss
+        assert not path.exists()  # ...and the bad entry is gone
+        # The executor recomputes and re-stores transparently.
+        outcome = run_tasks([task], max_workers=1, cache=cache)
+        assert outcome.cache_hits == 0 and outcome.cache_misses == 1
+        assert outcome.results[0]["echo"] == {"x": 1}
+        assert cache.load(task) == outcome.results[0]
+
+    def test_non_utf8_entry_recovers_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = make_task()
+        path = cache.store(task, {"value": 1})
+        path.write_bytes(b"\xff\xfe\x00garbage")
+        assert cache.load(task) is None
+        assert not path.exists()
+
+    def test_wrong_format_version_is_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = make_task()
+        path = cache.store(task, {"value": 1})
+        entry = json.loads(path.read_text())
+        entry["cache_format_version"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert cache.load(task) is None
+
+    def test_clear_purges_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_task(), {"value": 1})
+        cache.store(make_task(seed=2), {"value": 2})
+        assert cache.clear() == 2
+        assert cache.load(make_task()) is None
+
+    def test_unwritable_cache_degrades_to_uncached_execution(self, tmp_path):
+        # A cache root that cannot exist (its parent is a regular file):
+        # mkdir/replace raise OSError for any user, root included.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = ResultCache(blocker / "cache")
+        task = make_task()
+        assert cache.store(task, {"value": 1}) is None  # no raise
+        outcome = run_tasks([task], max_workers=1, cache=cache)
+        assert outcome.results[0]["echo"] == {"x": 1}
+
+    def test_model_architecture_is_part_of_the_cell_key(self):
+        import dataclasses as dc
+
+        from repro.scenarios.registry import get_scenario
+        from repro.scenarios.sweep import scenario_cell_task
+
+        spec = get_scenario("steady-poisson")
+        base = scenario_cell_task(spec, "vllm", TINY_SCALE, 1, None).content_hash()
+        same_name_other_arch = dc.replace(
+            spec, model=dc.replace(spec.model, num_layers=spec.model.num_layers + 1)
+        )
+        changed = scenario_cell_task(
+            same_name_other_arch, "vllm", TINY_SCALE, 1, None
+        ).content_hash()
+        assert changed != base
+
+    def test_default_dir_honours_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "elsewhere"
+
+
+class TestExecutor:
+    def test_results_come_back_in_task_order(self, tmp_path):
+        tasks = [make_task(payload={"x": i}, seed=i) for i in range(5)]
+        outcome = run_tasks(tasks, max_workers=1)
+        assert [r["echo"]["x"] for r in outcome.results] == list(range(5))
+        assert outcome.cache_hits == 0 and outcome.cache_misses == 5
+
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = [make_task(payload={"x": i}, seed=i) for i in range(3)]
+        cold = run_tasks(tasks, max_workers=1, cache=cache)
+        warm = run_tasks(tasks, max_workers=1, cache=cache)
+        assert cold.cache_misses == 3 and warm.cache_hits == 3
+        assert warm.results == cold.results
+
+    def test_partial_invalidation_recomputes_only_changed_cells(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = [make_task(payload={"x": i}, seed=i) for i in range(3)]
+        run_tasks(tasks, max_workers=1, cache=cache)
+        changed = [tasks[0], make_task(payload={"x": 99}, seed=1), tasks[2]]
+        outcome = run_tasks(changed, max_workers=1, cache=cache)
+        assert outcome.cache_hits == 2 and outcome.cache_misses == 1
+        assert outcome.results[1]["echo"] == {"x": 99}
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            run_tasks([make_task()], max_workers=0)
+
+    def test_pooled_execution_matches_inline(self, tmp_path):
+        # Real simulator cells through the shared warm pool: same payloads
+        # as inline execution, in the same order.
+        from repro.scenarios.registry import get_scenario
+        from repro.scenarios.sweep import scenario_cell_task
+
+        spec = get_scenario("steady-poisson")
+        tasks = [
+            scenario_cell_task(spec, policy, TINY_SCALE, 3, None)
+            for policy in ("vllm", "kunserve")
+        ]
+        inline = run_tasks(tasks, max_workers=1)
+        pooled = run_tasks(tasks, max_workers=2)
+        strip = lambda cell: {k: v for k, v in cell.items() if k != "wall_s"}
+        assert [strip(c) for c in inline.results] == [strip(c) for c in pooled.results]
+
+    def test_explicit_worker_cap_survives_a_larger_shared_pool(self):
+        # A pre-existing bigger warm pool must not oversubscribe a later
+        # call's explicit max_workers: execution goes through the bounded
+        # window, and results still come back complete and in order.
+        executor_module.shared_pool(3)
+        tasks = [make_task(payload={"x": i}, seed=10 + i) for i in range(5)]
+        outcome = run_tasks(tasks, max_workers=2)
+        assert [r["echo"]["x"] for r in outcome.results] == list(range(5))
+        executor_module.shutdown_shared_pool()
+
+    def test_shared_pool_is_reused_between_sweeps(self):
+        first = executor_module.shared_pool(2)
+        second = executor_module.shared_pool(2)
+        assert first is second
+        smaller = executor_module.shared_pool(1)
+        assert smaller is first  # shrinking reuses the warm pool
+        larger = executor_module.shared_pool(3)
+        assert larger is not first  # growing recreates it
+        executor_module.shutdown_shared_pool()
+
+
+class TestWorkerSizing:
+    def test_effective_worker_count_is_positive(self):
+        assert effective_worker_count() >= 1
+
+    def test_cgroup_quota_clamps(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_cgroup_cpu_quota", lambda: 1)
+        assert effective_worker_count() == 1
+
+    def test_cgroup_v2_parsing(self, monkeypatch):
+        readings = {"/sys/fs/cgroup/cpu.max": "150000 100000"}
+        monkeypatch.setattr(
+            executor_module, "_read_sys_file", lambda path: readings.get(path)
+        )
+        assert executor_module._cgroup_cpu_quota() == 2  # ceil(1.5)
+        readings["/sys/fs/cgroup/cpu.max"] = "max 100000"
+        assert executor_module._cgroup_cpu_quota() is None
