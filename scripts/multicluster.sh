@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Run the fleet-of-fleets sweep and write MULTICLUSTER_results.json at the
+# repository root.  Extra arguments are forwarded to
+# `python -m repro.multicluster` (e.g. `scripts/multicluster.sh --scale full`,
+# `scripts/multicluster.sh --list-routers`,
+# `scripts/multicluster.sh --cluster-counts 2 4 --routers locality_affinity spillover`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m repro.multicluster "$@"

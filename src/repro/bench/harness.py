@@ -56,6 +56,7 @@ from repro.experiments.runner import (
     make_policies,
 )
 from repro.fleet.sweep import run_fleet_sweep
+from repro.multicluster.sweep import run_multicluster_sweep
 from repro.scenarios.sweep import run_sweep
 from repro.serving.system import ClusterServingSystem
 from repro.simulation.event_loop import EventLoop
@@ -213,6 +214,27 @@ def _fleet_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
     )
 
 
+def _multicluster_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
+    """A small fleet-of-fleets sweep so its cost is tracked across PRs.
+
+    Two clusters, the two locality-relevant global routers, one placement
+    policy.  Runs inline (``max_workers=1``) so the event-loop meter in
+    this process sees the simulated events, and uncached so the row keeps
+    measuring real execution; the parallel and cached paths are covered by
+    ``tests/test_multicluster.py`` and the ``repro.multicluster`` CLI.
+    """
+    return run_multicluster_sweep(
+        scenarios=("steady-poisson",),
+        policies=("vllm",),
+        cluster_counts=(2,),
+        routers=("weighted_round_robin", "locality_affinity"),
+        placements=("spare_capacity_first",),
+        scale=dataclasses.replace(scale, name=f"multicluster-{scale.name}"),
+        seed=seed,
+        max_workers=1,
+    )
+
+
 def _sweep_cache_benchmark(scale: ExperimentScale, seed: int) -> Dict[str, float]:
     """Cold vs. warm scenario+fleet sweep through the result cache.
 
@@ -284,6 +306,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "table1": lambda scale, seed: table1.run_table1(),
     "scenarios": _scenario_sweep_benchmark,
     "fleet": _fleet_sweep_benchmark,
+    "multicluster": _multicluster_sweep_benchmark,
     "sweep_cache": _sweep_cache_benchmark,
 }
 

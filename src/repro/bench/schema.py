@@ -37,9 +37,9 @@ Each entry (one benchmark measurement)::
 Experiment ids are ``policy:<name>`` for the per-policy benchmarks (vllm,
 vllm-pp, infercept, llumnix, kunserve), the module name (``figure2``,
 ``figure5``, ``figure12``..``figure17``, ``table1``) for the figure/table
-experiments, ``scenarios`` / ``fleet`` for the sweep timing rows (small
-grids run inline so their cost is tracked), and ``sweep_cache`` for the
-incremental-sweep row.  Entries may carry *additive* fields beyond
+experiments, ``scenarios`` / ``fleet`` / ``multicluster`` for the sweep
+timing rows (small grids run inline so their cost is tracked), and
+``sweep_cache`` for the incremental-sweep row.  Entries may carry *additive* fields beyond
 ``ENTRY_KEYS``; the ``sweep_cache`` row adds ``cold_wall_s`` /
 ``warm_wall_s`` / ``cache_speedup`` / ``cold_cache_hits`` /
 ``warm_cache_hits``, the cold-vs-warm wall-clock of the same

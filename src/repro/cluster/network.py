@@ -72,6 +72,90 @@ class Transfer:
         return self.completed_at - self.submitted_at
 
 
+@dataclass(frozen=True)
+class InterClusterLinkSpec:
+    """Static description of a WAN link between two clusters.
+
+    Cross-cluster traffic is qualitatively different from the intra-cluster
+    RDMA fabric: bandwidth is one to two orders of magnitude lower and every
+    transfer pays a propagation delay regardless of size.  The multicluster
+    tier (:mod:`repro.multicluster`) builds one WAN endpoint per cluster
+    from this spec, so remote routing and cross-cluster KV migration carry
+    a modeled cost instead of being free.
+
+    Attributes:
+        bandwidth: per-cluster unidirectional WAN uplink bandwidth, bytes/s.
+        latency_s: one-way propagation delay paid before any byte moves.
+    """
+
+    bandwidth: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+
+
+class CrossClusterLink:
+    """A WAN link between two cluster endpoints of a shared fabric.
+
+    Wraps :meth:`NetworkFabric.submit` with the link's propagation delay:
+    a transfer first waits ``latency_s`` simulated seconds (the bytes are
+    in flight but no endpoint bandwidth is held), then contends for the
+    WAN endpoints' bandwidth under the fabric's fluid-flow model like any
+    other transfer.  Both endpoints must already be registered on the
+    fabric (the multicluster tier adds one ``cluster{i}/wan`` node per
+    cluster).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        fabric: "NetworkFabric",
+        src: str,
+        dst: str,
+        spec: InterClusterLinkSpec,
+    ) -> None:
+        for node in (src, dst):
+            if not fabric.has_node(node):
+                raise KeyError(f"unknown fabric node: {node!r}")
+        self._loop = loop
+        self._fabric = fabric
+        self.src = src
+        self.dst = dst
+        self.spec = spec
+        self.bytes_sent: float = 0.0
+        self.transfers: int = 0
+
+    def transfer(
+        self,
+        size_bytes: float,
+        *,
+        priority: TransferPriority = TransferPriority.BULK,
+        on_complete: Optional[Callable[[Transfer], None]] = None,
+        tag: str = "",
+    ) -> None:
+        """Move ``size_bytes`` across the link: latency, then bandwidth."""
+        if size_bytes < 0:
+            raise ValueError(f"transfer size must be >= 0, got {size_bytes}")
+        self.bytes_sent += size_bytes
+        self.transfers += 1
+        self._loop.schedule(
+            self.spec.latency_s,
+            lambda: self._fabric.submit(
+                self.src,
+                self.dst,
+                size_bytes,
+                priority=priority,
+                on_complete=on_complete,
+                tag=tag,
+            ),
+            name=f"wan-{tag}" if tag else "wan-transfer",
+        )
+
+
 class NetworkFabric:
     """Fluid-flow network model shared by all instances of a cluster."""
 

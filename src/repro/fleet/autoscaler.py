@@ -69,6 +69,11 @@ class Autoscaler:
     def pending_scale_ups(self) -> int:
         return self._pending_scale_ups
 
+    @property
+    def has_spare(self) -> bool:
+        """Whether any cold instance is available to activate."""
+        return bool(self.spare_instances)
+
     # ------------------------------------------------------------------
     # Tick
     # ------------------------------------------------------------------
@@ -76,18 +81,12 @@ class Autoscaler:
         if not self.config.enabled:
             return
         self._finish_drains()
-        system = self.controller.system
-        groups = self.controller.routable_groups()
-        if not groups:
+        inputs = self._pressure_inputs(now)
+        if inputs is None:
             return
-        pending = self.controller.admission.queued
-        backlog = pending + sum(g.scheduler.num_waiting for g in groups)
-        capacity = sum(g.kv_capacity_bytes() for g in groups)
-        demand = sum(g.kv_demand_bytes() for g in groups)
-        memory_ratio = demand / capacity if capacity > 0 else float("inf")
-        ttft_p99 = self._ttft_p99(now, system.metrics.records)
+        num_groups, backlog, memory_ratio, ttft_p99 = inputs
 
-        if self._should_scale_up(len(groups), backlog, memory_ratio, ttft_p99):
+        if self._should_scale_up(num_groups, backlog, memory_ratio, ttft_p99):
             if self._cooldown_passed(now):
                 self._scale_up(now)
             return
@@ -106,14 +105,26 @@ class Autoscaler:
     # ------------------------------------------------------------------
     # Scale up
     # ------------------------------------------------------------------
-    def _should_scale_up(
+    def _pressure_inputs(self, now: float):
+        """The trigger inputs ``(num_groups, backlog, memory_ratio,
+        ttft_p99)`` over the routable groups, or ``None`` with none.
+
+        The single definition of "pressure" shared by the local tick and
+        the multicluster placement tier (:meth:`wants_capacity`), so the
+        two can never disagree about when a cluster is overloaded.
+        """
+        groups = self.controller.routable_groups()
+        if not groups:
+            return None
+        backlog = self.controller.backlog()
+        memory_ratio = self.controller.kv_ratio()
+        ttft_p99 = self._ttft_p99(now, self.controller.system.metrics.records)
+        return len(groups), backlog, memory_ratio, ttft_p99
+
+    def _triggered(
         self, num_groups: int, backlog: int, memory_ratio: float, ttft_p99: Optional[float]
     ) -> bool:
-        if not self.spare_instances:
-            return False
-        target = num_groups + self._pending_scale_ups
-        if self.config.max_groups is not None and target >= self.config.max_groups:
-            return False
+        """Whether any scale-up trigger currently holds (triggers only)."""
         if backlog >= self.config.scale_up_queue_depth * num_groups:
             return True
         if memory_ratio >= self.config.scale_up_memory_ratio:
@@ -125,6 +136,50 @@ class Autoscaler:
         ):
             return True
         return False
+
+    def _should_scale_up(
+        self, num_groups: int, backlog: int, memory_ratio: float, ttft_p99: Optional[float]
+    ) -> bool:
+        if not self.spare_instances:
+            return False
+        target = num_groups + self._pending_scale_ups
+        if self.config.max_groups is not None and target >= self.config.max_groups:
+            return False
+        return self._triggered(num_groups, backlog, memory_ratio, ttft_p99)
+
+    def wants_capacity(self, now: float) -> bool:
+        """Whether a scale-up trigger holds, spare availability aside.
+
+        The multicluster placement tier polls this on clusters that have
+        exhausted their local spares: a ``True`` here with ``has_spare``
+        ``False`` is exactly the situation where a sibling cluster should
+        absorb the scale-up.
+        """
+        if not self.config.enabled:
+            return False
+        inputs = self._pressure_inputs(now)
+        if inputs is None:
+            return False
+        return self._triggered(*inputs)
+
+    def force_scale_up(self, now: float) -> bool:
+        """Externally-directed scale-up (the multicluster placement tier).
+
+        Activates one spare regardless of this cluster's own triggers —
+        the *caller* observed the pressure, possibly on a sibling cluster.
+        Still respects the spare pool, ``max_groups`` and the cooldown, so
+        placement cannot thrash a cluster faster than its own autoscaler
+        could.  Returns whether a scale-up was started.
+        """
+        if not self.config.enabled or not self.spare_instances:
+            return False
+        target = len(self.controller.routable_groups()) + self._pending_scale_ups
+        if self.config.max_groups is not None and target >= self.config.max_groups:
+            return False
+        if not self._cooldown_passed(now):
+            return False
+        self._scale_up(now)
+        return True
 
     def _scale_up(self, now: float) -> None:
         instance = self.spare_instances.pop(0)

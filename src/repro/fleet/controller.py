@@ -83,6 +83,25 @@ class FleetController:
         ]
 
     # ------------------------------------------------------------------
+    # Load view
+    # ------------------------------------------------------------------
+    # The single definition of cluster load, shared by the autoscaler's
+    # triggers and the multicluster tier's routing/placement handles — so
+    # local and cross-cluster decisions can never disagree about pressure.
+    def backlog(self) -> int:
+        """Queued admissions plus every routable group's scheduler backlog."""
+        return self.admission.queued + sum(
+            g.scheduler.num_waiting for g in self.routable_groups()
+        )
+
+    def kv_ratio(self) -> float:
+        """Cluster KV demand / capacity over the routable groups."""
+        groups = self.routable_groups()
+        capacity = sum(g.kv_capacity_bytes() for g in groups)
+        demand = sum(g.kv_demand_bytes() for g in groups)
+        return demand / capacity if capacity > 0 else float("inf")
+
+    # ------------------------------------------------------------------
     # Ticking
     # ------------------------------------------------------------------
     def _tick(self, now: float) -> None:

@@ -1,0 +1,85 @@
+"""Fleet-of-fleets tier (``python -m repro.multicluster``).
+
+Shards the elastic fleet across several :class:`~repro.cluster.cluster.Cluster`
+objects — each a complete serving system with its own
+:class:`~repro.fleet.controller.FleetController` — behind a global router
+with its own strategy registry (:mod:`repro.multicluster.routing`), a
+placement policy deciding which cluster absorbs an autoscaler scale-up
+(:mod:`repro.multicluster.placement`), and an inter-cluster WAN fabric
+that makes remote routing and cross-cluster KV migration pay a modeled
+cost (:mod:`repro.multicluster.fabric`, built on
+:class:`repro.cluster.network.CrossClusterLink`).  The sweep runner
+(:mod:`repro.multicluster.sweep`) replays scenarios across the
+cluster-count × global-router × placement grid and emits a stable-schema
+``MULTICLUSTER_results.json``.
+
+Note: :mod:`repro.multicluster.sweep` and
+:mod:`repro.multicluster.system` are intentionally *not* imported here —
+they pull in :mod:`repro.serving`, whose config embeds
+:class:`~repro.multicluster.config.MultiClusterConfig` from this package;
+import them directly where needed.
+"""
+
+from repro.multicluster.config import (
+    MultiClusterConfig,
+    make_multicluster_config,
+    multicluster_preset,
+)
+from repro.multicluster.placement import (
+    CostWeightedPlacement,
+    PlacementPolicy,
+    SpareCapacityFirstPlacement,
+    list_placements,
+    make_placement,
+    register_placement,
+)
+from repro.multicluster.routing import (
+    GlobalRouter,
+    LeastLoadedClusterRouter,
+    LocalityAffinityRouter,
+    SpilloverRouter,
+    WeightedRoundRobinRouter,
+    home_cluster_index,
+    list_global_routers,
+    make_global_router,
+    register_global_router,
+)
+from repro.multicluster.schema import (
+    DOCUMENT_KEYS,
+    ENTRY_KEYS,
+    SCALE_KEYS,
+    SCHEMA_VERSION,
+    WALL_CLOCK_DOCUMENT_KEYS,
+    WALL_CLOCK_ENTRY_KEYS,
+    strip_wall_clock,
+    validate_document,
+)
+
+__all__ = [
+    "CostWeightedPlacement",
+    "DOCUMENT_KEYS",
+    "ENTRY_KEYS",
+    "GlobalRouter",
+    "LeastLoadedClusterRouter",
+    "LocalityAffinityRouter",
+    "MultiClusterConfig",
+    "PlacementPolicy",
+    "SCALE_KEYS",
+    "SCHEMA_VERSION",
+    "SpareCapacityFirstPlacement",
+    "SpilloverRouter",
+    "WALL_CLOCK_DOCUMENT_KEYS",
+    "WALL_CLOCK_ENTRY_KEYS",
+    "WeightedRoundRobinRouter",
+    "home_cluster_index",
+    "list_global_routers",
+    "list_placements",
+    "make_global_router",
+    "make_multicluster_config",
+    "make_placement",
+    "multicluster_preset",
+    "register_global_router",
+    "register_placement",
+    "strip_wall_clock",
+    "validate_document",
+]

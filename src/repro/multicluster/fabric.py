@@ -1,0 +1,82 @@
+"""Inter-cluster fabric: the WAN tier between cluster shards.
+
+One :class:`~repro.cluster.network.NetworkFabric` endpoint per cluster
+(``cluster{i}/wan``), connected pairwise by
+:class:`~repro.cluster.network.CrossClusterLink` objects that add the
+WAN propagation delay in front of the fabric's fluid-flow bandwidth
+sharing.  All remote routing and cross-cluster KV migration in the
+multicluster tier flows through here, so it carries a modeled cost: a
+cluster whose uplink is saturated delays *every* concurrent remote
+dispatch, exactly like intra-cluster bulk traffic contends on a NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cluster.network import (
+    CrossClusterLink,
+    InterClusterLinkSpec,
+    NetworkFabric,
+    Transfer,
+    TransferPriority,
+)
+from repro.simulation.event_loop import EventLoop
+
+
+class InterClusterFabric:
+    """The WAN mesh between ``num_clusters`` cluster shards."""
+
+    def __init__(
+        self, loop: EventLoop, num_clusters: int, spec: InterClusterLinkSpec
+    ) -> None:
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        self.spec = spec
+        self.network = NetworkFabric(loop)
+        self.num_clusters = num_clusters
+        for index in range(num_clusters):
+            self.network.add_node(self.node(index), spec.bandwidth)
+        self._links: Dict[Tuple[int, int], CrossClusterLink] = {}
+        for src in range(num_clusters):
+            for dst in range(num_clusters):
+                if src != dst:
+                    self._links[(src, dst)] = CrossClusterLink(
+                        loop, self.network, self.node(src), self.node(dst), spec
+                    )
+
+    @staticmethod
+    def node(index: int) -> str:
+        """Fabric endpoint name for a cluster's WAN uplink."""
+        return f"cluster{index}/wan"
+
+    def link(self, src: int, dst: int) -> CrossClusterLink:
+        """The directed WAN link from cluster ``src`` to cluster ``dst``."""
+        return self._links[(src, dst)]
+
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        size_bytes: float,
+        *,
+        on_complete: Optional[Callable[[Transfer], None]] = None,
+        tag: str = "",
+    ) -> None:
+        """Move ``size_bytes`` from cluster ``src`` to cluster ``dst``."""
+        self.link(src, dst).transfer(
+            size_bytes,
+            priority=TransferPriority.BULK,
+            on_complete=on_complete,
+            tag=tag,
+        )
+
+    @property
+    def bytes_sent(self) -> float:
+        """Total bytes submitted across every WAN link."""
+        return sum(link.bytes_sent for link in self._links.values())
+
+    @property
+    def transfers(self) -> int:
+        """Total transfers submitted across every WAN link."""
+        return sum(link.transfers for link in self._links.values())

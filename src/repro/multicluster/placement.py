@@ -1,0 +1,112 @@
+"""Placement policies: which cluster absorbs an autoscaler scale-up.
+
+Inside one cluster the autoscaler activates its own spare instances.  At
+the multicluster tier a cluster can run out of spares while its siblings
+still hold cold capacity; the placement policy decides which sibling
+scales up on the pressured cluster's behalf (the global router then pulls
+traffic toward the new capacity).  Registered by name, mirroring the
+router registries, so the sweep can treat placement as a grid axis.
+
+Policies choose among *candidate* handles (clusters that still hold spare
+instances; the pressured cluster itself is never a candidate — it had no
+spares, which is why placement ran):
+
+* ``spare_capacity_first`` — the cluster with the most spare instances,
+  keeping the fleet's headroom balanced.
+* ``cost_weighted`` — the cluster whose marginal serving cost is lowest:
+  the per-token execution cost fitted from its roofline latency model via
+  :mod:`repro.core.cost_model`, scaled by current KV pressure.  On
+  heterogeneous fleets this prefers cheap, idle hardware; on homogeneous
+  fleets it degenerates to least-pressured.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Type, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.multicluster.system import ClusterHandle
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses the cluster that absorbs a remote scale-up."""
+
+    #: registry name, set by ``register_placement``.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def place(
+        self,
+        pressured: "ClusterHandle",
+        candidates: Sequence["ClusterHandle"],
+    ) -> Optional["ClusterHandle"]:
+        """Pick a donor from ``candidates`` (may be empty) for ``pressured``.
+
+        Returns ``None`` to decline the scale-up (no acceptable donor).
+        """
+
+
+class SpareCapacityFirstPlacement(PlacementPolicy):
+    """Scale up wherever the most spare instances sit (ties: lowest index)."""
+
+    def place(
+        self,
+        pressured: "ClusterHandle",
+        candidates: Sequence["ClusterHandle"],
+    ) -> Optional["ClusterHandle"]:
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: (-c.spare_instance_count(), c.index))
+
+
+class CostWeightedPlacement(PlacementPolicy):
+    """Scale up on the cheapest cluster: fitted cost/token × (1 + pressure)."""
+
+    def place(
+        self,
+        pressured: "ClusterHandle",
+        candidates: Sequence["ClusterHandle"],
+    ) -> Optional["ClusterHandle"]:
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda c: (c.cost_per_token() * (1.0 + c.kv_ratio()), c.index),
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_PLACEMENTS: Dict[str, Type[PlacementPolicy]] = {}
+
+
+def register_placement(
+    name: str, policy_class: Type[PlacementPolicy], *, overwrite: bool = False
+) -> Type[PlacementPolicy]:
+    """Add a placement policy class to the registry; refuses duplicates."""
+    if not name:
+        raise ValueError("placement policy name must be non-empty")
+    if name in _PLACEMENTS and not overwrite:
+        raise ValueError(f"placement policy {name!r} is already registered")
+    policy_class.name = name
+    _PLACEMENTS[name] = policy_class
+    return policy_class
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """Instantiate a registered placement policy by name."""
+    if name not in _PLACEMENTS:
+        known = ", ".join(list_placements())
+        raise KeyError(f"unknown placement policy {name!r}; known policies: {known}")
+    return _PLACEMENTS[name]()
+
+
+def list_placements() -> List[str]:
+    """Registered placement policy names in registration order."""
+    return list(_PLACEMENTS)
+
+
+register_placement("spare_capacity_first", SpareCapacityFirstPlacement)
+register_placement("cost_weighted", CostWeightedPlacement)

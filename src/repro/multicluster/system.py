@@ -1,0 +1,353 @@
+"""Fleet-of-fleets serving system: N clusters behind a global router.
+
+:class:`MultiClusterSystem` instantiates ``num_clusters`` complete
+:class:`~repro.serving.system.ClusterServingSystem` shards — each with its
+own :class:`~repro.fleet.controller.FleetController` (admission queue,
+intra-cluster router, autoscaler) — on **one shared deterministic event
+loop**, so all shards and the WAN fabric between them simulate in
+lock-step.  Three tier-level mechanisms sit on top:
+
+* a **global router** (:mod:`repro.multicluster.routing`) picks the
+  cluster for every arrival.  Each request has a deterministic *home*
+  cluster (stable session hash); dispatching anywhere else is *remote*
+  and the request's context first crosses the inter-cluster fabric
+  (:mod:`repro.multicluster.fabric`), paying WAN latency and sharing WAN
+  bandwidth — the modeled cost of ignoring locality;
+* a **placement policy** (:mod:`repro.multicluster.placement`) runs on
+  the multicluster controller tick: when a cluster's autoscaler is
+  triggered but out of local spares, a sibling chosen by the policy
+  absorbs the scale-up (counted as ``remote_scale_ups``);
+* the **inter-cluster fabric** carries the remote-dispatch KV traffic
+  and accounts every byte, so sweeps can compare routing strategies by
+  the cross-cluster traffic they generate.
+
+Determinism matches the single-cluster system: all shards share one
+event loop, per-shard RNG streams derive from distinct seeds, and the
+whole tier is a pure function of ``(config, workload, seed)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.network import InterClusterLinkSpec
+from repro.engine.metrics import RequestRecord, percentile
+from repro.engine.request import Request
+from repro.fleet.config import make_fleet_config
+from repro.models.memory import kv_bytes_per_token
+from repro.multicluster.fabric import InterClusterFabric
+from repro.multicluster.placement import make_placement
+from repro.multicluster.routing import home_cluster_index, make_global_router
+from repro.policies.base import OverloadPolicy
+from repro.serving.config import ServingConfig
+from repro.serving.system import ClusterServingSystem
+from repro.simulation.event_loop import EventLoop
+from repro.simulation.process import PeriodicProcess
+from repro.workloads.trace import Workload
+
+#: Builds one fresh policy instance per cluster shard (policies attach to
+#: exactly one serving system, so shards cannot share an instance).
+PolicyFactory = Callable[[], OverloadPolicy]
+
+
+class ClusterHandle:
+    """The slice of one cluster shard the tier-level policies read.
+
+    Global routers and placement policies operate on handles, never on
+    the serving systems directly — the handle surface (load, topology,
+    economics) is the contract new strategies can rely on.
+    """
+
+    def __init__(self, index: int, system: ClusterServingSystem) -> None:
+        self.index = index
+        self.system = system
+        self._cost_per_token: Optional[float] = None
+
+    # -- load ----------------------------------------------------------
+    def routable_groups(self):
+        return self.system.fleet.routable_groups()
+
+    def routable_group_count(self) -> int:
+        return len(self.routable_groups())
+
+    def backlog(self) -> int:
+        """Queued admissions plus every routable group's scheduler backlog.
+
+        Delegates to the shard's fleet controller — the same load view its
+        own autoscaler triggers on, so tier and shard never disagree.
+        """
+        return self.system.fleet.backlog()
+
+    def kv_ratio(self) -> float:
+        """Cluster KV demand / capacity over the routable groups."""
+        return self.system.fleet.kv_ratio()
+
+    # -- capacity ------------------------------------------------------
+    def spare_instance_count(self) -> int:
+        return len(self.system.fleet.autoscaler.spare_instances)
+
+    # -- economics -----------------------------------------------------
+    def cost_per_token(self) -> float:
+        """Marginal execution cost (seconds/token) of this cluster's GPUs.
+
+        Fitted once, lazily, from the shard's roofline latency model via
+        the paper's batch cost model (:mod:`repro.core.cost_model`): the
+        Eq. 1 cost of a 1024-token prefill divided by its length.  On
+        heterogeneous fleets this ranks clusters by hardware speed; on
+        homogeneous ones every shard ties and callers fall back to index
+        order.
+        """
+        if self._cost_per_token is None:
+            # Local import: core.cost_model pulls in numpy + the engine,
+            # which router/placement unit tests with stub handles never need.
+            from repro.core.cost_model import fit_from_latency_model
+
+            model = fit_from_latency_model(self.system.instances[0].latency)
+            self._cost_per_token = model.chunk_cost(0, 1024) / 1024.0
+        return self._cost_per_token
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClusterHandle(index={self.index}, groups={self.routable_group_count()})"
+
+
+@dataclasses.dataclass
+class MultiClusterResult:
+    """Outcome of replaying one workload on a multicluster system."""
+
+    system_name: str
+    workload_name: str
+    records: List[RequestRecord]
+    duration_s: float
+    submitted_requests: int
+    finished_requests: int
+    summary: Dict[str, float]
+    cluster_stats: List[Dict[str, float]]
+
+    @property
+    def completion_ratio(self) -> float:
+        if self.submitted_requests == 0:
+            return 1.0
+        return self.finished_requests / self.submitted_requests
+
+
+class MultiClusterSystem:
+    """N cluster shards, a global router, placement, and a WAN fabric."""
+
+    def __init__(self, config: ServingConfig, policy_factory: PolicyFactory) -> None:
+        if config.multicluster is None:
+            raise ValueError("ServingConfig.multicluster must be set")
+        self.config = config
+        self.mc = config.multicluster
+        self.loop = EventLoop()
+        self.fabric = InterClusterFabric(
+            self.loop,
+            self.mc.num_clusters,
+            InterClusterLinkSpec(
+                bandwidth=self.mc.wan_bandwidth, latency_s=self.mc.wan_latency_s
+            ),
+        )
+        self.router = make_global_router(
+            self.mc.global_router,
+            seed=config.seed,
+            spill_queue_depth=self.mc.spill_queue_depth,
+        )
+        self.placement = make_placement(self.mc.placement)
+        fleet = make_fleet_config(
+            router=self.mc.cluster_router,
+            autoscaler=self.mc.cluster_autoscaler,
+            admission=self.mc.admission,
+            tick_interval_s=self.mc.tick_interval_s,
+        )
+        self.handles: List[ClusterHandle] = []
+        for index in range(self.mc.num_clusters):
+            # Every shard is a full serving system on the shared loop, with
+            # its own RNG streams (distinct seed offset per shard) and its
+            # own fleet controller built from the tier's fleet settings.
+            sub_config = dataclasses.replace(
+                config,
+                multicluster=None,
+                fleet=fleet,
+                seed=config.seed + 1 + index,
+            )
+            system = ClusterServingSystem(sub_config, policy_factory(), loop=self.loop)
+            self.handles.append(ClusterHandle(index, system))
+        self._kv_token_bytes = kv_bytes_per_token(config.model)
+        self._tick_process = PeriodicProcess(
+            self.loop,
+            self.mc.tick_interval_s,
+            self._tick,
+            name="multicluster-controller",
+        )
+
+        self.local_routed = 0
+        self.remote_routed = 0
+        self.remote_scale_ups = 0
+        self._all_requests: List[Request] = []
+        #: requests currently crossing the WAN (stranded ones are recorded
+        #: as unfinished when the horizon ends mid-transfer).
+        self._in_flight: Dict[int, Request] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def systems(self) -> List[ClusterServingSystem]:
+        return [handle.system for handle in self.handles]
+
+    def initial_group_count(self) -> int:
+        return sum(len(system.groups) for system in self.systems)
+
+    def home_cluster(self, request: Request) -> int:
+        return home_cluster_index(request, self.mc.num_clusters)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Route an arriving request to a cluster (now, or after the WAN)."""
+        self._all_requests.append(request)
+        home = self.home_cluster(request)
+        target = self.router.route(request, self.handles)
+        if target.index == home:
+            self.local_routed += 1
+            target.system.submit(request)
+            return
+        # Remote dispatch: the session's context (conservatively, the full
+        # prompt's worth of KV — multi-turn prompts carry their history)
+        # must cross from the home cluster before serving can start.
+        self.remote_routed += 1
+        self._in_flight[request.request_id] = request
+        size = float(request.prompt_tokens * self._kv_token_bytes)
+        self.fabric.transfer(
+            home,
+            target.index,
+            size,
+            on_complete=lambda _t, r=request, h=target: self._deliver(r, h),
+            tag=f"kv-req{request.request_id}",
+        )
+
+    def _deliver(self, request: Request, handle: ClusterHandle) -> None:
+        self._in_flight.pop(request.request_id, None)
+        handle.system.submit(request)
+
+    def submit_at(self, request: Request, time: float) -> None:
+        """Schedule a request arrival at absolute simulation time ``time``."""
+        self.loop.schedule_at(time, lambda r=request: self.submit(r), name="mc-arrival")
+
+    # ------------------------------------------------------------------
+    # Placement tick
+    # ------------------------------------------------------------------
+    def _tick(self, now: float) -> None:
+        """Redirect scale-ups from spare-less pressured clusters to donors."""
+        for handle in self.handles:
+            scaler = handle.system.fleet.autoscaler
+            if not scaler.config.enabled or scaler.has_spare:
+                continue  # local spares: the shard's own autoscaler acts
+            if not scaler.wants_capacity(now):
+                continue
+            candidates = [
+                c
+                for c in self.handles
+                if c is not handle and c.system.fleet.autoscaler.has_spare
+            ]
+            donor = self.placement.place(handle, candidates)
+            if donor is not None and donor.system.fleet.autoscaler.force_scale_up(now):
+                self.remote_scale_ups += 1
+                handle.system.metrics.mark_event(
+                    now,
+                    "multicluster-remote-scale-up",
+                    pressured_cluster=handle.index,
+                    donor_cluster=donor.index,
+                    placement=self.placement.name,
+                )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: Workload,
+        *,
+        until: Optional[float] = None,
+        drain: bool = True,
+    ) -> MultiClusterResult:
+        """Replay ``workload`` through the tier and aggregate the metrics."""
+        requests = workload.to_engine_requests()
+        for request in requests:
+            self.submit_at(request, request.arrival_time)
+        for system in self.systems:
+            system.monitor.start()
+            system.fleet.start()
+        self._tick_process.start()
+        horizon = until
+        if horizon is None:
+            horizon = workload.duration + (self.config.drain_timeout_s if drain else 0.0)
+        self.loop.run(until=horizon)
+        self._tick_process.stop()
+        records: List[RequestRecord] = []
+        for system in self.systems:
+            system.monitor.stop()
+            system.fleet.stop()
+            system._finalize_unfinished()
+            records.extend(system.metrics.records)
+        # Requests the horizon caught mid-WAN never reached a shard; they
+        # still count as submitted-but-unfinished.
+        for request in self._in_flight.values():
+            records.append(RequestRecord.from_request(request))
+        finished = sum(1 for record in records if record.finished)
+        return MultiClusterResult(
+            system_name=self.systems[0].policy.name,
+            workload_name=workload.name,
+            records=records,
+            duration_s=self.loop.now,
+            submitted_requests=len(requests),
+            finished_requests=finished,
+            summary=self._summary(records),
+            cluster_stats=[handle.system.fleet.stats() for handle in self.handles],
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _summary(self, records: List[RequestRecord]) -> Dict[str, float]:
+        """Tier-level summary over the combined per-request records.
+
+        Percentiles are computed over the union of every shard's records;
+        throughput is the sum of the shards' bucket-mean token rates (the
+        single-cluster definition, summed).
+        """
+        ttfts = [r.ttft for r in records if r.ttft is not None]
+        tpots = [r.mean_tpot for r in records if r.mean_tpot is not None]
+        throughput = sum(
+            s.metrics.throughput.mean() / s.metrics.timeline_window_s
+            for s in self.systems
+        )
+        return {
+            "requests": float(len(records)),
+            "finished": float(sum(1 for r in records if r.finished)),
+            "ttft_p50": percentile(ttfts, 50),
+            "ttft_p90": percentile(ttfts, 90),
+            "ttft_p99": percentile(ttfts, 99),
+            "tpot_p50": percentile(tpots, 50),
+            "tpot_p90": percentile(tpots, 90),
+            "tpot_p99": percentile(tpots, 99),
+            "throughput_tokens_per_s": throughput,
+        }
+
+    def stats(self) -> Dict[str, float]:
+        """Tier counters plus the shard fleet counters, aggregated."""
+        per_cluster = [handle.system.fleet.stats() for handle in self.handles]
+        return {
+            "admitted": sum(s["admitted"] for s in per_cluster),
+            "shed": sum(s["shed"] for s in per_cluster),
+            "queue_peak": max(s["queue_peak"] for s in per_cluster),
+            "scale_up_events": sum(s["scale_up_events"] for s in per_cluster),
+            "scale_down_events": sum(s["scale_down_events"] for s in per_cluster),
+            "final_groups": sum(s["final_groups"] for s in per_cluster),
+            "local_routed": float(self.local_routed),
+            "remote_routed": float(self.remote_routed),
+            "remote_scale_ups": float(self.remote_scale_ups),
+            "cross_cluster_bytes": float(self.fabric.bytes_sent),
+            "cross_cluster_transfers": float(self.fabric.transfers),
+        }

@@ -61,6 +61,14 @@ def main(argv=None) -> int:
         help="run every cell behind a fleet preset (e.g. 'elastic' or "
         "'power_of_two_choices/elastic'); default: plain dispatcher",
     )
+    parser.add_argument(
+        "--multicluster",
+        default=None,
+        metavar="PRESET",
+        help="run every cell through the fleet-of-fleets tier (e.g. '2' or "
+        "'2/locality_affinity/cost_weighted'); mutually exclusive with "
+        "--fleet; default: single cluster",
+    )
     parser.add_argument("--seed", type=int, default=42, help="sweep seed")
     parser.add_argument(
         "--workers",
@@ -112,6 +120,7 @@ def main(argv=None) -> int:
             seed=args.seed,
             max_workers=max_workers,
             fleet=args.fleet,
+            multicluster=args.multicluster,
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
         )

@@ -27,6 +27,8 @@ Top-level document::
       "policies": [str, ...],     # policy keys swept, in order
       "fleet": str | null,        # fleet preset applied to every cell
                                   # (optional/additive; null = plain dispatcher)
+      "multicluster": str | null, # multicluster preset applied to every cell
+                                  # (optional/additive; null = single cluster)
       "entries": [ScenarioEntry, ...],
       "cache_hits": int,          # cells served from .repro_cache (additive
                                   # in schema v1; 0 when caching is off)
@@ -78,7 +80,7 @@ DOCUMENT_KEYS = (
 
 #: Additive schema-v1 keys: emitted by current sweeps but not required by
 #: the validator, so documents written before they existed stay valid.
-OPTIONAL_DOCUMENT_KEYS = ("fleet", "cache_hits", "cache_misses")
+OPTIONAL_DOCUMENT_KEYS = ("fleet", "multicluster", "cache_hits", "cache_misses")
 
 #: Keys every entry must carry (the stable contract).
 ENTRY_KEYS = (

@@ -121,6 +121,7 @@ def run_cell(
     scale: ExperimentScale,
     seed: int = 42,
     fleet: Optional[str] = None,
+    multicluster: Optional[str] = None,
 ) -> CellResult:
     """Run one scenario under one policy; the in-process cell primitive.
 
@@ -129,12 +130,45 @@ def run_cell(
     ``fleet`` optionally names a fleet preset
     (:func:`repro.fleet.config.fleet_preset`, e.g. ``"elastic"`` or
     ``"power_of_two_choices/elastic"``) so the cell runs behind the
-    elastic-fleet layer instead of the plain dispatcher.
+    elastic-fleet layer instead of the plain dispatcher.  ``multicluster``
+    optionally names a fleet-of-fleets preset
+    (:func:`repro.multicluster.config.multicluster_preset`, e.g. ``"2"``
+    or ``"2/locality_affinity/cost_weighted"``) so the cell runs through
+    the sharded tier; it subsumes the fleet layer (every shard gets its
+    own fleet controller), so the two options are mutually exclusive.
+    ``scale.num_instances`` then sizes one shard, and the workload is
+    generated for ``num_instances × clusters`` — the multicluster sweep's
+    scaling convention.
     """
+    if fleet is not None and multicluster is not None:
+        raise ValueError(
+            "fleet and multicluster are mutually exclusive: the multicluster "
+            "tier builds a fleet controller per cluster shard"
+        )
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
-    workload = spec.build_workload(scale, seed)
-    policy = make_policy(policy_key)
     config = build_cell_config(spec, scale, seed=seed)
+    if multicluster is not None:
+        # Local imports: repro.multicluster.sweep imports this module.
+        from repro.multicluster.config import multicluster_preset
+        from repro.multicluster.sweep import run_tier
+
+        config.multicluster = multicluster_preset(multicluster)
+        run = run_tier(spec, policy_key, config, scale, seed)
+        mc_result = run.result
+        return CellResult(
+            scenario=spec.name,
+            policy=policy_key,
+            policy_name=mc_result.system_name,
+            workload=run.workload_name,
+            requests=mc_result.submitted_requests,
+            finished=mc_result.finished_requests,
+            completion_ratio=mc_result.completion_ratio,
+            summary=mc_result.summary,
+            latencies=tuple((r.ttft, r.mean_tpot) for r in mc_result.records),
+            wall_s=run.wall_s,
+        )
+    policy = make_policy(policy_key)
+    workload = spec.build_workload(scale, seed)
     if fleet is not None:
         config.fleet = fleet_preset(fleet)
     start = time.perf_counter()
@@ -161,7 +195,12 @@ def run_cell(
 def run_cell_payload(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     """Sweep-engine runner: one scenario cell as a JSON-able payload."""
     cell = run_cell(
-        params["scenario"], params["policy"], params["scale"], seed, params["fleet"]
+        params["scenario"],
+        params["policy"],
+        params["scale"],
+        seed,
+        params["fleet"],
+        params.get("multicluster"),
     )
     return dataclasses.asdict(cell)
 
@@ -205,11 +244,18 @@ def scenario_cell_task(
     scale: ExperimentScale,
     seed: int,
     fleet: Optional[str],
+    multicluster: Optional[str] = None,
 ) -> SweepTask:
     """Describe one scenario × policy cell as a cacheable sweep task."""
     return SweepTask(
         runner="repro.scenarios.sweep:run_cell_payload",
-        params={"scenario": spec, "policy": policy, "scale": scale, "fleet": fleet},
+        params={
+            "scenario": spec,
+            "policy": policy,
+            "scale": scale,
+            "fleet": fleet,
+            "multicluster": multicluster,
+        },
         key={
             "kind": "scenario-cell",
             "schema_version": SCHEMA_VERSION,
@@ -217,6 +263,7 @@ def scenario_cell_task(
             "policy": policy,
             "scale": dataclasses.asdict(scale),
             "fleet": fleet,
+            "multicluster": multicluster,
         },
         seed=seed,
         label=f"{spec.name}/{policy}",
@@ -282,6 +329,7 @@ def run_sweep(
     seed: int = 42,
     max_workers: Optional[int] = None,
     fleet: Optional[str] = None,
+    multicluster: Optional[str] = None,
     use_cache: bool = False,
     cache_dir: Optional[Path] = None,
 ) -> Dict:
@@ -300,6 +348,10 @@ def run_sweep(
         fleet: optional fleet preset applied to every cell (the fleet
             axis; see :func:`repro.fleet.config.fleet_preset`).  ``None``
             keeps the classic plain-dispatcher cells.
+        multicluster: optional fleet-of-fleets preset applied to every
+            cell (see :func:`repro.multicluster.config.multicluster_preset`,
+            e.g. ``"2/locality_affinity"``); mutually exclusive with
+            ``fleet``.  ``None`` keeps single-cluster cells.
         use_cache: serve unchanged cells from the on-disk result cache
             and store fresh ones (the CLI enables this by default; the
             Python API defaults to off so tests and benchmarks measure
@@ -309,6 +361,13 @@ def run_sweep(
     """
     if fleet is not None:
         fleet_preset(fleet)  # fail fast on unknown presets
+    if multicluster is not None:
+        if fleet is not None:
+            raise ValueError("fleet and multicluster are mutually exclusive")
+        # Local import (cycle: repro.multicluster.sweep imports this module).
+        from repro.multicluster.config import multicluster_preset
+
+        multicluster_preset(multicluster)  # fail fast on unknown presets
     names = list(scenarios) if scenarios is not None else list_scenarios()
     unknown = [n for n in names if n not in list_scenarios()]
     if unknown:
@@ -319,7 +378,7 @@ def run_sweep(
         raise ValueError("max_workers must be >= 1")
     specs = [get_scenario(name) for name in names]
     tasks = [
-        scenario_cell_task(spec, policy, scale, seed, fleet)
+        scenario_cell_task(spec, policy, scale, seed, fleet, multicluster)
         for spec in specs
         for policy in (policies if policies is not None else spec.policies)
     ]
@@ -351,6 +410,7 @@ def run_sweep(
         "scenarios": names,
         "policies": policy_list,
         "fleet": fleet,
+        "multicluster": multicluster,
         "entries": entries,
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,

@@ -11,6 +11,7 @@ from repro.engine.latency_model import LatencyModelConfig
 from repro.fleet.config import FleetConfig
 from repro.models.catalog import QWEN_2_5_14B
 from repro.models.spec import ModelSpec
+from repro.multicluster.config import MultiClusterConfig
 
 
 @dataclass
@@ -36,6 +37,11 @@ class ServingConfig:
         fleet: optional elastic-fleet layer (router strategy, admission
             control, autoscaler); ``None`` keeps the classic fixed fleet
             behind the plain dispatcher.
+        multicluster: optional fleet-of-fleets tier
+            (:mod:`repro.multicluster`): ``cluster`` then describes *one
+            shard* and :class:`~repro.multicluster.system.MultiClusterSystem`
+            instantiates ``multicluster.num_clusters`` of them behind a
+            global router; ``None`` keeps the single-cluster system.
     """
 
     model: ModelSpec = field(default_factory=lambda: QWEN_2_5_14B)
@@ -51,6 +57,7 @@ class ServingConfig:
     latency_config: Optional[LatencyModelConfig] = None
     seed: int = 42
     fleet: Optional[FleetConfig] = None
+    multicluster: Optional[MultiClusterConfig] = None
 
     def __post_init__(self) -> None:
         if self.gpus_per_instance <= 0:

@@ -53,10 +53,19 @@ class SimulationResult:
 class ClusterServingSystem:
     """A cluster of serving instances behind a dispatcher and a monitor."""
 
-    def __init__(self, config: ServingConfig, policy: OverloadPolicy) -> None:
+    def __init__(
+        self,
+        config: ServingConfig,
+        policy: OverloadPolicy,
+        *,
+        loop: Optional[EventLoop] = None,
+    ) -> None:
+        # ``loop`` lets a caller share one deterministic event loop across
+        # several systems — the multicluster tier simulates N clusters in
+        # lock-step on a single loop.  Default: a private loop, as before.
         self.config = config
         self.policy = policy
-        self.loop = EventLoop()
+        self.loop = loop if loop is not None else EventLoop()
         self.cluster = Cluster(config.cluster, self.loop)
         self.fabric = self.cluster.fabric
         self.metrics = MetricsCollector(timeline_window_s=config.timeline_window_s)

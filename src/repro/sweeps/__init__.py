@@ -30,6 +30,7 @@ from repro.sweeps.task import (
     CACHE_FORMAT_VERSION,
     SweepTask,
     canonical_json,
+    runner_bytecode_fingerprint,
 )
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "effective_worker_count",
     "execute_task",
     "run_tasks",
+    "runner_bytecode_fingerprint",
     "shared_pool",
     "shutdown_shared_pool",
 ]

@@ -43,6 +43,7 @@ DEFAULT_PRELOAD: Tuple[str, ...] = (
     "repro.serving.system",
     "repro.scenarios.sweep",
     "repro.fleet.sweep",
+    "repro.multicluster.sweep",
 )
 
 

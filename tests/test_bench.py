@@ -88,6 +88,7 @@ class TestSchema:
             "table1",
             "scenarios",
             "fleet",
+            "multicluster",
             "sweep_cache",
         }
 
@@ -137,6 +138,13 @@ class TestHarnessSmoke:
         entry = run_experiment_benchmark("fleet", TINY_SCALE, seed=1)
         assert entry.kind == "experiment"
         assert entry.experiment == "fleet"
+        assert entry.wall_s > 0
+        assert entry.events > 0  # runs inline, so the event meter sees it
+
+    def test_multicluster_sweep_row_runs_tiny_grid(self):
+        entry = run_experiment_benchmark("multicluster", TINY_SCALE, seed=1)
+        assert entry.kind == "experiment"
+        assert entry.experiment == "multicluster"
         assert entry.wall_s > 0
         assert entry.events > 0  # runs inline, so the event meter sees it
 
