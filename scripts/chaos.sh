@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Run the chaos sweep (fault schedules x session migration) and write
+# CHAOS_results.json at the repository root.  Extra arguments are forwarded
+# to `python -m repro.chaos` (e.g. `scripts/chaos.sh --scale full`,
+# `scripts/chaos.sh --list-faults`,
+# `scripts/chaos.sh --faults cluster-outage churn --migrations migrate`,
+# `scripts/chaos.sh --metrics-out chaos_metrics.prom`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m repro.chaos "$@"

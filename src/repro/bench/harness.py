@@ -56,6 +56,7 @@ from repro.experiments.runner import (
     make_policies,
 )
 from repro.fleet.sweep import run_fleet_sweep
+from repro.chaos.sweep import run_chaos_sweep
 from repro.multicluster.sweep import run_multicluster_sweep
 from repro.scenarios.sweep import run_sweep
 from repro.serving.system import ClusterServingSystem
@@ -235,6 +236,27 @@ def _multicluster_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
     )
 
 
+def _chaos_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
+    """A small chaos sweep so fault-injection cost is tracked across PRs.
+
+    One scenario, the cluster-outage preset, both session-migration
+    policies — the cell pair the chaos acceptance test pins.  Runs inline
+    (``max_workers=1``) so the event-loop meter in this process sees the
+    simulated events, and uncached so the row keeps measuring real
+    execution; the parallel and cached paths are covered by
+    ``tests/test_chaos.py`` and the ``repro.chaos`` CLI.
+    """
+    return run_chaos_sweep(
+        scenarios=("steady-poisson",),
+        policies=("vllm",),
+        faults=("cluster-outage",),
+        migrations=("sticky", "migrate"),
+        scale=dataclasses.replace(scale, name=f"chaos-{scale.name}"),
+        seed=seed,
+        max_workers=1,
+    )
+
+
 def _sweep_cache_benchmark(scale: ExperimentScale, seed: int) -> Dict[str, float]:
     """Cold vs. warm scenario+fleet sweep through the result cache.
 
@@ -307,6 +329,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "scenarios": _scenario_sweep_benchmark,
     "fleet": _fleet_sweep_benchmark,
     "multicluster": _multicluster_sweep_benchmark,
+    "chaos": _chaos_sweep_benchmark,
     "sweep_cache": _sweep_cache_benchmark,
 }
 

@@ -1,0 +1,57 @@
+"""Chaos engineering for the simulated serving fleet.
+
+Faults are a first-class sweep axis: a :class:`~repro.chaos.config.FaultSchedule`
+describes *when* and *where* instance kills, whole-cluster outages and
+WAN-link degradations strike, deterministically — either at fixed trigger
+times or hazard-rate-sampled from the experiment seed — and the
+:class:`~repro.chaos.injector.ChaosInjector` replays the schedule on the
+shared event loop of a running system.  The chaos sweep
+(:mod:`repro.chaos.sweep`, ``python -m repro.chaos``) grids fault
+schedules against session-migration policies and emits a stable-schema
+``CHAOS_results.json`` through the cached sweep engine.
+"""
+
+from repro.chaos.config import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    fault_schedule_preset,
+    list_fault_presets,
+    sampled_kill_schedule,
+    schedule_fingerprint,
+)
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.schema import (
+    DOCUMENT_KEYS,
+    ENTRY_KEYS,
+    SCALE_KEYS,
+    SCHEMA_VERSION,
+    WALL_CLOCK_DOCUMENT_KEYS,
+    WALL_CLOCK_ENTRY_KEYS,
+    strip_wall_clock,
+    validate_document,
+)
+
+# Note: :mod:`repro.chaos.sweep` is intentionally *not* imported here —
+# it pulls in :mod:`repro.serving`, whose config embeds
+# :class:`~repro.chaos.config.FaultSchedule` from this package; import it
+# directly where needed.
+
+__all__ = [
+    "ChaosInjector",
+    "DOCUMENT_KEYS",
+    "ENTRY_KEYS",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "SCALE_KEYS",
+    "SCHEMA_VERSION",
+    "WALL_CLOCK_DOCUMENT_KEYS",
+    "WALL_CLOCK_ENTRY_KEYS",
+    "fault_schedule_preset",
+    "list_fault_presets",
+    "sampled_kill_schedule",
+    "schedule_fingerprint",
+    "strip_wall_clock",
+    "validate_document",
+]

@@ -126,6 +126,9 @@ class CrossClusterLink:
         self.src = src
         self.dst = dst
         self.spec = spec
+        #: propagation-delay multiplier; chaos WAN degradation raises it
+        #: for the degradation window and restores it to 1.0 after.
+        self.latency_scale: float = 1.0
         self.bytes_sent: float = 0.0
         self.transfers: int = 0
 
@@ -143,7 +146,7 @@ class CrossClusterLink:
         self.bytes_sent += size_bytes
         self.transfers += 1
         self._loop.schedule(
-            self.spec.latency_s,
+            self.spec.latency_s * self.latency_scale,
             lambda: self._fabric.submit(
                 self.src,
                 self.dst,
@@ -185,6 +188,20 @@ class NetworkFabric:
 
     def node_bandwidth(self, name: str) -> float:
         return self._node_bandwidth[name]
+
+    def set_node_bandwidth(self, name: str, bandwidth: float) -> None:
+        """Change an endpoint's bandwidth mid-run (chaos WAN degradation).
+
+        In-flight transfers keep the bytes they already moved; rates are
+        recomputed under the new capacity and the completion event is
+        re-armed, exactly as on any submit/complete/cancel.
+        """
+        if name not in self._node_bandwidth:
+            raise KeyError(f"unknown fabric node: {name!r}")
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self._node_bandwidth[name] = float(bandwidth)
+        self._recompute_rates()
 
     # ------------------------------------------------------------------
     # Transfers

@@ -32,6 +32,10 @@ class FailureReport:
     recomputed_requests: int = 0
     requeued_requests: int = 0
     restore_bytes: int = 0
+    #: ids of the requests the failure displaced (recomputed + requeued),
+    #: in the order they were re-dispatched — chaos sweeps use these to
+    #: measure the recovery transient per displaced request.
+    displaced_request_ids: List[int] = field(default_factory=list)
 
 
 class FaultToleranceManager:
@@ -73,6 +77,7 @@ class FaultToleranceManager:
             group.scheduler.remove_request(request)
             displaced.append(request)
             report.requeued_requests += 1
+        report.displaced_request_ids = [r.request_id for r in displaced]
         self.system.retire_group(group)
 
         # Restore full replicas on the survivors (pulled from the host copy

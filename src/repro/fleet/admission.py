@@ -112,6 +112,24 @@ class AdmissionController:
         self.queue_peak = max(self.queue_peak, self.queued)
         return "queued"
 
+    def evict_all(self) -> List[Request]:
+        """Empty every admission queue and return the evicted requests.
+
+        Used by chaos cluster outages: a dead cluster cannot serve its
+        queue, so the tier takes the waiting requests back and either
+        re-homes them (``migrate``) or accounts them as lost to the fault
+        (``sticky``).  Evicted requests are *not* counted as shed — they
+        never reached a shedding decision; their fate is the tier's call.
+        Returned in deterministic ``(arrival_time, request_id)`` order.
+        """
+        evicted: List[Request] = []
+        for queue in self._queues.values():
+            evicted.extend(queue)
+            queue.clear()
+        self._readmitted.clear()
+        evicted.sort(key=lambda r: (r.arrival_time, r.request_id))
+        return evicted
+
     # ------------------------------------------------------------------
     # Draining
     # ------------------------------------------------------------------

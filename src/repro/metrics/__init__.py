@@ -1,0 +1,32 @@
+"""Live observability for simulation runs: Prometheus-style metrics.
+
+:mod:`repro.metrics.prometheus` implements a minimal registry (counter +
+gauge families) with deterministic text exposition;
+:mod:`repro.metrics.monitor` streams scrapes of it from the event loop to
+a file or callback while a run executes; :mod:`repro.metrics.sources`
+holds the canonical samplers for the serving systems.  Attach one with
+``system.attach_metrics(path=...)`` before ``run()``.
+"""
+
+from repro.metrics.monitor import MetricsMonitor
+from repro.metrics.prometheus import (
+    CounterFamily,
+    GaugeFamily,
+    MetricFamily,
+    MetricsRegistry,
+    escape_label_value,
+    format_value,
+)
+from repro.metrics.sources import fleet_metrics_source, tier_metrics_source
+
+__all__ = [
+    "MetricsMonitor",
+    "MetricsRegistry",
+    "MetricFamily",
+    "CounterFamily",
+    "GaugeFamily",
+    "escape_label_value",
+    "format_value",
+    "fleet_metrics_source",
+    "tier_metrics_source",
+]

@@ -1,0 +1,170 @@
+"""Minimal Prometheus text-exposition registry (format version 0.0.4).
+
+Stdlib-only implementation of the two metric types the simulator needs:
+
+* **counter** — cumulative, monotonically non-decreasing.  Simulator
+  counters are already cumulative (bytes sent, requests shed), so
+  :meth:`CounterFamily.set_total` sets the running total directly and
+  *enforces* monotonicity — a decreasing total is a bug in the sampler,
+  not a value to silently expose.
+* **gauge** — a value that can go up and down (queue depth, active
+  instances).
+
+Exposition follows the Prometheus text format: one ``# HELP`` and one
+``# TYPE`` comment per family, then one ``name{label="value"} value
+timestamp`` line per labelled sample.  Families render in registration
+order and samples in sorted label order, so the output is deterministic
+for a deterministic simulation.  Timestamps are *simulation* milliseconds
+— the whole point of chaos observability is replaying what the simulated
+fleet looked like over simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: A frozen label set: ``(("cluster", "0"), ...)`` sorted by label name.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or any(c not in _NAME_OK for c in name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format spec."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Canonical sample value: ``repr`` round-trips floats exactly."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricFamily:
+    """One named metric with labelled samples; base of counter and gauge."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = _check_name(name)
+        self.help = help_text
+        self._samples: Dict[LabelKey, float] = {}
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labelled sample (0.0 when never set)."""
+        return self._samples.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Dict[LabelKey, float]:
+        """All samples, keyed by frozen label set."""
+        return dict(self._samples)
+
+    def render(self, timestamp_ms: Optional[int] = None) -> List[str]:
+        """Exposition lines for this family (HELP, TYPE, then samples)."""
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.metric_type}",
+        ]
+        suffix = f" {timestamp_ms}" if timestamp_ms is not None else ""
+        for key in sorted(self._samples):
+            if key:
+                label_text = ",".join(
+                    f'{name}="{escape_label_value(value)}"' for name, value in key
+                )
+                series = f"{self.name}{{{label_text}}}"
+            else:
+                series = self.name
+            lines.append(f"{series} {format_value(self._samples[key])}{suffix}")
+        return lines
+
+
+class CounterFamily(MetricFamily):
+    """A monotonically non-decreasing cumulative metric."""
+
+    metric_type = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (>= 0) to a labelled sample."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + float(amount)
+
+    def set_total(self, value: float, **labels: str) -> None:
+        """Set the cumulative total directly; refuses to go backwards.
+
+        This is the natural bridge from simulator counters, which are
+        already running totals — sampling them is a ``set``, not an
+        ``inc``, but the monotonicity contract must still hold.
+        """
+        key = _label_key(labels)
+        current = self._samples.get(key, 0.0)
+        if value < current:
+            raise ValueError(
+                f"counter {self.name}{dict(key)} cannot decrease: "
+                f"{current} -> {value}"
+            )
+        self._samples[key] = float(value)
+
+
+class GaugeFamily(MetricFamily):
+    """A metric that can go up and down."""
+
+    metric_type = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        self._samples[_label_key(labels)] = float(value)
+
+
+class MetricsRegistry:
+    """An ordered collection of metric families with one exposition view."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def counter(self, name: str, help_text: str = "") -> CounterFamily:
+        """Get or create a counter family; a gauge of the same name errors."""
+        return self._family(CounterFamily, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> GaugeFamily:
+        """Get or create a gauge family; a counter of the same name errors."""
+        return self._family(GaugeFamily, name, help_text)
+
+    def _family(self, cls, name: str, help_text: str) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = cls(name, help_text)
+        elif not isinstance(family, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {family.metric_type}"
+            )
+        return family
+
+    def families(self) -> List[MetricFamily]:
+        """Families in registration order."""
+        return list(self._families.values())
+
+    def expose(self, timestamp_ms: Optional[int] = None) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for family in self._families.values():
+            lines.extend(family.render(timestamp_ms))
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> Dict[str, Dict[LabelKey, float]]:
+        """Every family's samples, keyed by metric name."""
+        return {name: family.samples() for name, family in self._families.items()}

@@ -1,0 +1,99 @@
+"""Canonical metric sources: simulator state -> registry samples.
+
+Sources are duck-typed closures so this module stays free of heavy
+imports; :meth:`repro.multicluster.system.MultiClusterSystem.attach_metrics`
+and :meth:`repro.serving.system.ClusterServingSystem.attach_metrics` wire
+them up.  Metric names follow Prometheus conventions: ``_total`` suffix
+on counters, base units (bytes, seconds) in names.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.prometheus import MetricsRegistry
+
+
+def fleet_metrics_source(system, cluster: str = "0"):
+    """Sampler for one :class:`~repro.serving.system.ClusterServingSystem`.
+
+    Labels every series with the cluster index so the multicluster tier
+    can reuse this per shard; queue depth and shed counts come from the
+    fleet layer when one is configured and degrade to the dispatcher
+    view otherwise.
+    """
+
+    def sample(registry: MetricsRegistry, now: float) -> None:
+        fleet = system.fleet
+        queue = registry.gauge(
+            "repro_queue_depth", "Admission backlog plus scheduler waiting"
+        )
+        active = registry.gauge(
+            "repro_active_instances", "Instances in routable serving groups"
+        )
+        spares = registry.gauge(
+            "repro_spare_instances", "Instances held back by the autoscaler"
+        )
+        submitted = registry.counter(
+            "repro_requests_submitted_total", "Requests submitted to the system"
+        )
+        finished = registry.counter(
+            "repro_requests_finished_total", "Requests finished"
+        )
+        shed = registry.counter(
+            "repro_requests_shed_total", "Requests shed by admission control"
+        )
+        if fleet is not None:
+            queue.set(float(fleet.backlog()), cluster=cluster)
+            groups = fleet.routable_groups()
+            spares.set(float(len(fleet.autoscaler.spare_instances)), cluster=cluster)
+            shed.set_total(float(fleet.admission.shed), cluster=cluster)
+        else:
+            groups = system.active_groups
+            queue.set(
+                float(sum(g.scheduler.num_waiting for g in groups)), cluster=cluster
+            )
+            spares.set(0.0, cluster=cluster)
+            shed.set_total(0.0, cluster=cluster)
+        active.set(float(sum(len(g.instances) for g in groups)), cluster=cluster)
+        submitted.set_total(float(system._submitted), cluster=cluster)
+        finished.set_total(float(system.metrics.finished_count()), cluster=cluster)
+
+    return sample
+
+
+def tier_metrics_source(tier):
+    """Sampler for a :class:`~repro.multicluster.system.MultiClusterSystem`.
+
+    Adds the tier-level counters on top of one per-shard fleet view:
+    requests lost to faults, injected faults, cross-cluster WAN bytes,
+    and the recovery transient signal — how many fault-displaced
+    requests are still unfinished right now.
+    """
+    shard_sources = [
+        fleet_metrics_source(handle.system, cluster=str(handle.index))
+        for handle in tier.handles
+    ]
+
+    def sample(registry: MetricsRegistry, now: float) -> None:
+        for source in shard_sources:
+            source(registry, now)
+        alive = registry.gauge(
+            "repro_cluster_alive", "1 while the cluster shard serves, 0 after an outage"
+        )
+        for handle in tier.handles:
+            alive.set(1.0 if handle.alive else 0.0, cluster=str(handle.index))
+        registry.counter(
+            "repro_requests_lost_total",
+            "Requests lost to faults (sticky outage displacement, dead fabric)",
+        ).set_total(float(tier.lost_to_fault))
+        registry.counter(
+            "repro_faults_total", "Fault events injected so far"
+        ).set_total(float(len(tier.fault_times)))
+        registry.counter(
+            "repro_cross_cluster_bytes_total", "Bytes moved over the WAN fabric"
+        ).set_total(float(tier.fabric.bytes_sent))
+        registry.gauge(
+            "repro_displaced_pending",
+            "Fault-displaced requests not yet finished (the recovery transient)",
+        ).set(float(tier.displaced_pending()))
+
+    return sample

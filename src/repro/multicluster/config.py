@@ -22,6 +22,14 @@ from typing import List, Optional, Tuple
 
 from repro.fleet.config import AdmissionConfig
 
+#: Session-migration policies for sessions whose home cluster is down.
+SESSION_MIGRATION_POLICIES: Tuple[str, ...] = ("sticky", "migrate")
+
+
+def list_session_migrations() -> List[str]:
+    """Known session-migration policy names."""
+    return list(SESSION_MIGRATION_POLICIES)
+
 
 @dataclass(frozen=True)
 class MultiClusterConfig:
@@ -51,6 +59,16 @@ class MultiClusterConfig:
         tick_interval_s: period of the multicluster controller's decision
             tick (placement runs on it); also used for the per-cluster
             fleet ticks so the tiers observe a consistent cadence.
+        session_migration: what happens to sessions whose home cluster is
+            down (see :mod:`repro.chaos`).  ``"sticky"`` keeps the dead
+            home: every affected arrival is rerouted to an alive sibling
+            and pays a full WAN context transfer each turn (repeated WAN
+            hops), and requests displaced by the outage are lost.
+            ``"migrate"`` adopts the session onto an alive sibling: the
+            first affected request moves the session context over the
+            ``CrossClusterLink`` once and later turns are served locally
+            (amortised KV move); displaced requests are re-homed the same
+            way instead of being lost.
     """
 
     num_clusters: int = 2
@@ -63,6 +81,7 @@ class MultiClusterConfig:
     wan_latency_s: float = 0.030
     spill_queue_depth: int = 8
     tick_interval_s: float = 1.0
+    session_migration: str = "sticky"
 
     def __post_init__(self) -> None:
         if self.num_clusters < 1:
@@ -79,6 +98,11 @@ class MultiClusterConfig:
             raise ValueError("spill_queue_depth must be >= 1")
         if self.tick_interval_s <= 0:
             raise ValueError("tick_interval_s must be positive")
+        if self.session_migration not in SESSION_MIGRATION_POLICIES:
+            known = ", ".join(SESSION_MIGRATION_POLICIES)
+            raise ValueError(
+                f"unknown session_migration {self.session_migration!r}; known: {known}"
+            )
 
 
 def make_multicluster_config(
@@ -93,6 +117,7 @@ def make_multicluster_config(
     wan_latency_s: float = 0.030,
     spill_queue_depth: int = 8,
     tick_interval_s: float = 1.0,
+    session_migration: str = "sticky",
 ) -> MultiClusterConfig:
     """Build a :class:`MultiClusterConfig`, failing fast on unknown names."""
     # Local imports: this module stays import-light for the sweep workers,
@@ -125,6 +150,7 @@ def make_multicluster_config(
         wan_latency_s=wan_latency_s,
         spill_queue_depth=spill_queue_depth,
         tick_interval_s=tick_interval_s,
+        session_migration=session_migration,
     )
 
 
@@ -160,6 +186,8 @@ def multicluster_preset(name: str) -> MultiClusterConfig:
 
 __all__: Tuple[str, ...] = (
     "MultiClusterConfig",
+    "SESSION_MIGRATION_POLICIES",
+    "list_session_migrations",
     "make_multicluster_config",
     "multicluster_preset",
 )

@@ -71,6 +71,34 @@ class InterClusterFabric:
             tag=tag,
         )
 
+    def degrade(
+        self, bandwidth_factor: float, latency_factor: float = 1.0
+    ) -> None:
+        """Degrade every WAN uplink and link (chaos ``wan_degrade``).
+
+        Scales each cluster's uplink to ``bandwidth_factor`` of the spec
+        bandwidth and every link's propagation delay by
+        ``latency_factor``.  Factors are absolute against the spec, not
+        cumulative, so overlapping degradation windows don't compound and
+        :meth:`restore` is simply ``degrade(1.0, 1.0)``.
+        """
+        if not (0.0 < bandwidth_factor <= 1.0):
+            raise ValueError(
+                f"bandwidth_factor must be in (0, 1], got {bandwidth_factor}"
+            )
+        if latency_factor < 1.0:
+            raise ValueError(f"latency_factor must be >= 1, got {latency_factor}")
+        for index in range(self.num_clusters):
+            self.network.set_node_bandwidth(
+                self.node(index), self.spec.bandwidth * bandwidth_factor
+            )
+        for link in self._links.values():
+            link.latency_scale = latency_factor
+
+    def restore(self) -> None:
+        """Lift any WAN degradation: spec bandwidth, spec latency."""
+        self.degrade(1.0, 1.0)
+
     @property
     def bytes_sent(self) -> float:
         """Total bytes submitted across every WAN link."""

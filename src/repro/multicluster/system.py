@@ -62,6 +62,9 @@ class ClusterHandle:
     def __init__(self, index: int, system: ClusterServingSystem) -> None:
         self.index = index
         self.system = system
+        #: cleared by a chaos ``cluster_outage``; dead shards are invisible
+        #: to the global router and the placement tick.
+        self.alive = True
         self._cost_per_token: Optional[float] = None
 
     # -- load ----------------------------------------------------------
@@ -188,6 +191,39 @@ class MultiClusterSystem:
         #: as unfinished when the horizon ends mid-transfer).
         self._in_flight: Dict[int, Request] = {}
 
+        # -- chaos / fault accounting ----------------------------------
+        #: arrivals whose home cluster was dead when they arrived.
+        self.rerouted = 0
+        #: requests dropped because of a fault (sticky displaced requests,
+        #: WAN deliveries to a cluster that died mid-flight, arrivals with
+        #: no alive cluster left).
+        self.lost_to_fault = 0
+        #: sessions adopted by a sibling after their home died (migrate).
+        self.migrated_sessions = 0
+        #: follow-up requests served locally at an adopted cluster.
+        self.migration_hits = 0
+        #: WAN bytes of one-time session moves (migrate policy).
+        self.migration_bytes = 0.0
+        #: WAN bytes of per-request context dispatch (healthy remote
+        #: dispatch plus sticky repeated hops).
+        self.dispatch_bytes = 0.0
+        self.instance_kills = 0
+        self.cluster_outages = 0
+        self.wan_degrades = 0
+        #: simulation times at which faults fired (metrics/report).
+        self.fault_times: List[float] = []
+        #: session key -> adopting cluster index (migrate policy).
+        self._session_adoptions: Dict[str, int] = {}
+        #: request_id -> time of the fault that displaced it.
+        self._displacements: Dict[int, float] = {}
+        #: fault-lost requests owned by the tier (not by any shard) —
+        #: recorded as unfinished when the run ends.
+        self._lost_requests: List[Request] = []
+        #: armed from ``config.chaos`` by :meth:`run`.
+        self.chaos = None
+        #: optional live-metrics stream (see :meth:`attach_metrics`).
+        self.metrics_monitor = None
+
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
@@ -201,14 +237,42 @@ class MultiClusterSystem:
     def home_cluster(self, request: Request) -> int:
         return home_cluster_index(request, self.mc.num_clusters)
 
+    @property
+    def alive_handles(self) -> List[ClusterHandle]:
+        return [handle for handle in self.handles if handle.alive]
+
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
         """Route an arriving request to a cluster (now, or after the WAN)."""
         self._all_requests.append(request)
+        self._route(request)
+
+    def _route(self, request: Request) -> None:
+        alive = self.alive_handles
+        if not alive:
+            self._lose(request)
+            return
         home = self.home_cluster(request)
-        target = self.router.route(request, self.handles)
+        if not self.handles[home].alive:
+            # The home cluster is down: the request cannot follow the
+            # healthy path.  What happens next is the session-migration
+            # policy's call (this is the axis chaos sweeps compare).
+            self.rerouted += 1
+            if self.mc.session_migration == "migrate":
+                self._migrate_submit(request)
+            else:
+                # Sticky: route to an alive sibling, but the session stays
+                # homed on the dead cluster — every turn pays a fresh WAN
+                # context transfer (sourced from the home site's durable
+                # session store).
+                target = self.router.route(request, alive)
+                size = float(request.prompt_tokens * self._kv_token_bytes)
+                self.dispatch_bytes += size
+                self._wan_submit(request, home, target, size)
+            return
+        target = self.router.route(request, alive)
         if target.index == home:
             self.local_routed += 1
             target.system.submit(request)
@@ -217,23 +281,257 @@ class MultiClusterSystem:
         # prompt's worth of KV — multi-turn prompts carry their history)
         # must cross from the home cluster before serving can start.
         self.remote_routed += 1
-        self._in_flight[request.request_id] = request
         size = float(request.prompt_tokens * self._kv_token_bytes)
+        self.dispatch_bytes += size
+        self._wan_submit(request, home, target, size)
+
+    def _migrate_submit(self, request: Request) -> None:
+        """Serve a request whose home cluster is down, migrate-style.
+
+        The first affected request of a session moves the session context
+        over the WAN once and the session is *adopted* by the target
+        cluster; later requests of the same session are served there
+        locally — the move is amortised over the session's lifetime.
+        """
+        from repro.fleet.routing import SessionAffinityRouter
+
+        alive = self.alive_handles
+        key = SessionAffinityRouter.session_key(request)
+        adopted = self._session_adoptions.get(key)
+        if adopted is not None and self.handles[adopted].alive:
+            self.migration_hits += 1
+            self.handles[adopted].system.submit(request)
+            return
+        home = self.home_cluster(request)
+        if self.handles[home].alive:
+            # A displaced request whose session is homed on an *alive*
+            # cluster (it had been remote-dispatched to the dead one):
+            # the home still holds the session context, go back local.
+            self.handles[home].system.submit(request)
+            return
+        target = self.router.route(request, alive)
+        self._session_adoptions[key] = target.index
+        self.migrated_sessions += 1
+        size = float(request.prompt_tokens * self._kv_token_bytes)
+        self.migration_bytes += size
+        self._wan_submit(request, home, target, size, tag="migrate")
+
+    def _wan_submit(
+        self,
+        request: Request,
+        source: int,
+        target: ClusterHandle,
+        size: float,
+        tag: str = "kv",
+    ) -> None:
+        self._in_flight[request.request_id] = request
         self.fabric.transfer(
-            home,
+            source,
             target.index,
             size,
             on_complete=lambda _t, r=request, h=target: self._deliver(r, h),
-            tag=f"kv-req{request.request_id}",
+            tag=f"{tag}-req{request.request_id}",
         )
 
     def _deliver(self, request: Request, handle: ClusterHandle) -> None:
         self._in_flight.pop(request.request_id, None)
+        if not handle.alive:
+            # The destination died while the context was crossing the WAN.
+            if self.mc.session_migration == "migrate" and self.alive_handles:
+                self._migrate_submit(request)
+            else:
+                self._lose(request)
+            return
         handle.system.submit(request)
+
+    def _lose(self, request: Request) -> None:
+        self.lost_to_fault += 1
+        self._lost_requests.append(request)
 
     def submit_at(self, request: Request, time: float) -> None:
         """Schedule a request arrival at absolute simulation time ``time``."""
         self.loop.schedule_at(time, lambda r=request: self.submit(r), name="mc-arrival")
+
+    # ------------------------------------------------------------------
+    # Fault injection (driven by repro.chaos.ChaosInjector)
+    # ------------------------------------------------------------------
+    def fail_cluster_instance(
+        self, cluster: int, instance: int, now: Optional[float] = None
+    ) -> None:
+        """Kill one instance of one shard; the shard recovers in place.
+
+        Delegates to the shard's :class:`FaultToleranceManager` (survivor
+        restore + displaced re-dispatch stay *inside* the cluster), and
+        tracks the displaced requests for the recovery-transient metric.
+        """
+        if now is None:
+            now = self.loop.now
+        handle = self.handles[cluster]
+        if not handle.alive:
+            return  # the whole cluster is already down
+        system = handle.system
+        victim = system.instances[instance]
+        if victim.failed:
+            return
+        spares = system.fleet.autoscaler.spare_instances
+        if victim in spares:
+            spares.remove(victim)
+        if system.fault_manager is None:
+            from repro.core.fault_tolerance import FaultToleranceManager
+
+            system.fault_manager = FaultToleranceManager(system)
+        report = system.fault_manager.fail_instance(victim, now)
+        self.instance_kills += 1
+        self.fault_times.append(now)
+        for request_id in report.displaced_request_ids:
+            self._displacements.setdefault(request_id, now)
+
+    def fail_cluster(self, index: int, now: Optional[float] = None) -> None:
+        """Take a whole cluster shard down, permanently.
+
+        Every queued and running request of the shard is displaced.  Under
+        the ``migrate`` session policy the displaced requests are re-homed
+        on alive siblings (paying the amortised WAN session move); under
+        ``sticky`` they are lost to the fault.  Future arrivals homed on
+        the dead shard go through the same policy fork in :meth:`_route`.
+        """
+        if now is None:
+            now = self.loop.now
+        handle = self.handles[index]
+        if not handle.alive:
+            return
+        handle.alive = False
+        self.cluster_outages += 1
+        self.fault_times.append(now)
+        system = handle.system
+
+        # Collect every request the shard was holding, deterministically.
+        displaced = system.fleet.admission.evict_all()
+        for group in list(system.groups):
+            for request in list(group.scheduler.running):
+                group.scheduler.remove_request(request)
+                request.reset_for_recompute()
+                displaced.append(request)
+            for request in sorted(
+                list(group.scheduler.waiting),
+                key=lambda r: (r.arrival_time, r.request_id),
+            ):
+                group.scheduler.remove_request(request)
+                displaced.append(request)
+            system.retire_group(group)
+        system.fleet.autoscaler.spare_instances.clear()
+        for instance in system.instances:
+            instance.failed = True
+        displaced.sort(key=lambda r: (r.arrival_time, r.request_id))
+        for request in displaced:
+            self._displacements.setdefault(request.request_id, now)
+        system.metrics.mark_event(
+            now, "cluster_outage", cluster=index, displaced=len(displaced)
+        )
+
+        if self.mc.session_migration == "migrate" and self.alive_handles:
+            for request in displaced:
+                # The sibling that adopts the request records it from here
+                # on; keeping it in the dead shard's books would double
+                # count it as unfinished.
+                system.forget_request(request)
+                self._migrate_submit(request)
+        else:
+            # Sticky: the displaced requests die with their cluster.  They
+            # stay in the dead shard's accounting, so finalisation records
+            # them as unfinished.
+            self.lost_to_fault += len(displaced)
+
+    def degrade_wan(
+        self,
+        bandwidth_factor: float,
+        latency_factor: float = 1.0,
+        now: Optional[float] = None,
+    ) -> None:
+        """Degrade every WAN uplink (brown-out), relative to spec."""
+        if now is None:
+            now = self.loop.now
+        self.fabric.degrade(bandwidth_factor, latency_factor)
+        self.wan_degrades += 1
+        self.fault_times.append(now)
+        self.handles[0].system.metrics.mark_event(
+            now,
+            "wan_degrade",
+            bandwidth_factor=bandwidth_factor,
+            latency_factor=latency_factor,
+        )
+
+    def restore_wan(self) -> None:
+        """Lift a WAN degradation (factors are absolute, not cumulative)."""
+        self.fabric.restore()
+
+    # ------------------------------------------------------------------
+    # Fault reporting
+    # ------------------------------------------------------------------
+    def displaced_pending(self) -> int:
+        """Displaced requests that have not finished yet (live metric)."""
+        if not self._displacements:
+            return 0
+        finished = 0
+        for system in self.systems:
+            for record in system.metrics.records:
+                if record.finished and record.request_id in self._displacements:
+                    finished += 1
+        return len(self._displacements) - finished
+
+    def recovery_transient_s(self, records: List[RequestRecord]) -> float:
+        """Worst-case time from a fault to its displaced requests finishing.
+
+        For every displaced request: ``finish_time - fault_time`` when it
+        finished, ``horizon - fault_time`` when it never did (a lost
+        request never recovers — the transient extends to the end of the
+        run).  The maximum over all displaced requests is the recovery
+        transient; ``0.0`` when no fault displaced anything.
+        """
+        if not self._displacements:
+            return 0.0
+        horizon = self.loop.now
+        worst = 0.0
+        for record in records:
+            fault_time = self._displacements.get(record.request_id)
+            if fault_time is None:
+                continue
+            if record.finished and record.finish_time is not None:
+                end = record.finish_time
+            else:
+                end = horizon
+            worst = max(worst, end - fault_time)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Metrics streaming
+    # ------------------------------------------------------------------
+    def attach_metrics(
+        self,
+        *,
+        path=None,
+        callback=None,
+        interval_s: Optional[float] = None,
+        registry=None,
+    ):
+        """Install a :class:`repro.metrics.MetricsMonitor` over the tier.
+
+        Streams per-cluster queue/instance gauges plus tier-level fault
+        counters in Prometheus text format; :meth:`run` starts and stops
+        the monitor around the replay.
+        """
+        from repro.metrics import MetricsMonitor, tier_metrics_source
+
+        monitor = MetricsMonitor(
+            self.loop,
+            interval_s=interval_s or self.mc.tick_interval_s,
+            path=path,
+            callback=callback,
+            registry=registry,
+        )
+        monitor.add_source(tier_metrics_source(self))
+        self.metrics_monitor = monitor
+        return monitor
 
     # ------------------------------------------------------------------
     # Placement tick
@@ -241,6 +539,8 @@ class MultiClusterSystem:
     def _tick(self, now: float) -> None:
         """Redirect scale-ups from spare-less pressured clusters to donors."""
         for handle in self.handles:
+            if not handle.alive:
+                continue
             scaler = handle.system.fleet.autoscaler
             if not scaler.config.enabled or scaler.has_spare:
                 continue  # local spares: the shard's own autoscaler acts
@@ -249,7 +549,7 @@ class MultiClusterSystem:
             candidates = [
                 c
                 for c in self.handles
-                if c is not handle and c.system.fleet.autoscaler.has_spare
+                if c is not handle and c.alive and c.system.fleet.autoscaler.has_spare
             ]
             donor = self.placement.place(handle, candidates)
             if donor is not None and donor.system.fleet.autoscaler.force_scale_up(now):
@@ -283,8 +583,18 @@ class MultiClusterSystem:
         horizon = until
         if horizon is None:
             horizon = workload.duration + (self.config.drain_timeout_s if drain else 0.0)
+        if self.config.chaos is not None and self.config.chaos:
+            # Local import: repro.chaos imports this module's siblings.
+            from repro.chaos.injector import ChaosInjector
+
+            self.chaos = ChaosInjector(self, self.config.chaos)
+            self.chaos.arm(horizon)
+        if self.metrics_monitor is not None:
+            self.metrics_monitor.start()
         self.loop.run(until=horizon)
         self._tick_process.stop()
+        if self.metrics_monitor is not None:
+            self.metrics_monitor.stop()
         records: List[RequestRecord] = []
         for system in self.systems:
             system.monitor.stop()
@@ -294,6 +604,10 @@ class MultiClusterSystem:
         # Requests the horizon caught mid-WAN never reached a shard; they
         # still count as submitted-but-unfinished.
         for request in self._in_flight.values():
+            records.append(RequestRecord.from_request(request))
+        # Requests a fault orphaned entirely (sticky in-fabric losses,
+        # arrivals with no alive cluster) are the tier's to record.
+        for request in self._lost_requests:
             records.append(RequestRecord.from_request(request))
         finished = sum(1 for record in records if record.finished)
         return MultiClusterResult(
@@ -350,4 +664,14 @@ class MultiClusterSystem:
             "remote_scale_ups": float(self.remote_scale_ups),
             "cross_cluster_bytes": float(self.fabric.bytes_sent),
             "cross_cluster_transfers": float(self.fabric.transfers),
+            "rerouted": float(self.rerouted),
+            "lost_to_fault": float(self.lost_to_fault),
+            "migrated_sessions": float(self.migrated_sessions),
+            "migration_hits": float(self.migration_hits),
+            "migration_bytes": float(self.migration_bytes),
+            "dispatch_bytes": float(self.dispatch_bytes),
+            "instance_kills": float(self.instance_kills),
+            "cluster_outages": float(self.cluster_outages),
+            "wan_degrades": float(self.wan_degrades),
+            "displaced": float(len(self._displacements)),
         }

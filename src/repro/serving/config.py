@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.chaos.config import FaultSchedule
 from repro.cluster.cluster import ClusterSpec
 from repro.cluster.specs import cluster_a_spec
 from repro.engine.latency_model import LatencyModelConfig
@@ -42,6 +43,11 @@ class ServingConfig:
             shard* and :class:`~repro.multicluster.system.MultiClusterSystem`
             instantiates ``multicluster.num_clusters`` of them behind a
             global router; ``None`` keeps the single-cluster system.
+        chaos: optional deterministic fault schedule (:mod:`repro.chaos`)
+            injected while the workload replays.  A multicluster system
+            honours every fault kind; a single-cluster system accepts
+            ``instance_kill`` events only (cluster outages and WAN
+            degradation need the tier).  ``None`` disables injection.
     """
 
     model: ModelSpec = field(default_factory=lambda: QWEN_2_5_14B)
@@ -58,6 +64,7 @@ class ServingConfig:
     seed: int = 42
     fleet: Optional[FleetConfig] = None
     multicluster: Optional[MultiClusterConfig] = None
+    chaos: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if self.gpus_per_instance <= 0:

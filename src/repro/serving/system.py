@@ -98,6 +98,10 @@ class ClusterServingSystem:
         )
         self._submitted = 0
         self._all_requests: List[Request] = []
+        #: set lazily by :meth:`_arm_chaos` / chaos tests.
+        self.fault_manager = None
+        #: optional live-metrics stream (see :meth:`attach_metrics`).
+        self.metrics_monitor = None
         self.policy.attach(self)
 
     # ------------------------------------------------------------------
@@ -202,6 +206,100 @@ class ClusterServingSystem:
             self.submit_at(request, request.arrival_time)
         return requests
 
+    def forget_request(self, request: Request) -> None:
+        """Drop a request from this system's accounting entirely.
+
+        The multicluster tier calls this when a fault displaces a request
+        *off* this shard and re-homes it on a sibling — the request is
+        then the sibling's to record, and keeping it here would double
+        count it as unfinished at finalisation.  The ``_submitted`` intake
+        counter is *not* rolled back: the submission event happened, and
+        the metrics stream exposes it as a monotone Prometheus counter.
+        """
+        try:
+            self._all_requests.remove(request)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Chaos and metrics hooks
+    # ------------------------------------------------------------------
+    def _arm_chaos(self, horizon: float) -> None:
+        """Schedule the config's fault events (single-cluster scope).
+
+        Standalone systems support ``instance_kill`` faults only —
+        cluster outages and WAN degradation are tier-level concepts the
+        multicluster system injects itself (it builds its shards with
+        ``chaos=None``, so the two never double-fire).
+        """
+        schedule = self.config.chaos
+        if schedule is None or not schedule:
+            return
+        unsupported = sorted(
+            {e.kind for e in schedule.events if e.kind != "instance_kill"}
+        )
+        if unsupported:
+            raise ValueError(
+                f"single-cluster runs support instance_kill faults only, "
+                f"got {', '.join(unsupported)} (use a multicluster config)"
+            )
+        from repro.core.fault_tolerance import FaultToleranceManager
+
+        if self.fault_manager is None:
+            self.fault_manager = FaultToleranceManager(self)
+        for event in schedule.events:
+            if event.at_s >= horizon:
+                continue
+            if event.instance >= len(self.instances):
+                raise ValueError(
+                    f"fault targets instance {event.instance}, but the cluster "
+                    f"has {len(self.instances)}"
+                )
+            victim = self.instances[event.instance]
+            self.loop.schedule_at(
+                event.at_s,
+                lambda v=victim: self._chaos_kill(v),
+                name="chaos-instance-kill",
+            )
+
+    def _chaos_kill(self, instance: ServingInstance) -> None:
+        if instance.failed:
+            return
+        if self.fleet is not None:
+            # A failed spare must never be re-activated by the autoscaler.
+            spares = self.fleet.autoscaler.spare_instances
+            if instance in spares:
+                spares.remove(instance)
+        self.fault_manager.fail_instance(instance)
+
+    def attach_metrics(
+        self,
+        *,
+        path=None,
+        callback=None,
+        interval_s: Optional[float] = None,
+        registry=None,
+    ):
+        """Install a :class:`repro.metrics.MetricsMonitor` on this system.
+
+        The monitor samples the fleet/dispatcher counters every
+        ``interval_s`` (default: the monitor interval) and streams
+        Prometheus text scrapes to ``path`` and/or ``callback``;
+        :meth:`run` starts and stops it around the replay.
+        """
+        from repro.metrics import MetricsMonitor, fleet_metrics_source
+
+        monitor = MetricsMonitor(
+            self.loop,
+            interval_s=interval_s or self.config.monitor_interval_s,
+            path=path,
+            callback=callback,
+            registry=registry,
+        )
+        monitor.add_source(fleet_metrics_source(self))
+        self.metrics_monitor = monitor
+        return monitor
+
     # ------------------------------------------------------------------
     # Monitor callback
     # ------------------------------------------------------------------
@@ -234,10 +332,15 @@ class ClusterServingSystem:
         horizon = until
         if horizon is None:
             horizon = workload.duration + (self.config.drain_timeout_s if drain else 0.0)
+        self._arm_chaos(horizon)
+        if self.metrics_monitor is not None:
+            self.metrics_monitor.start()
         self.loop.run(until=horizon)
         self.monitor.stop()
         if self.fleet is not None:
             self.fleet.stop()
+        if self.metrics_monitor is not None:
+            self.metrics_monitor.stop()
         self._finalize_unfinished()
         summary = self.metrics.summary()
         result = SimulationResult(

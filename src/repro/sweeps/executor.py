@@ -44,6 +44,7 @@ DEFAULT_PRELOAD: Tuple[str, ...] = (
     "repro.scenarios.sweep",
     "repro.fleet.sweep",
     "repro.multicluster.sweep",
+    "repro.chaos.sweep",
 )
 
 

@@ -1,0 +1,96 @@
+"""Reusable conservation invariants over sweep result documents.
+
+Every sweep document (fleet, multicluster, chaos) describes closed
+systems: requests that enter must be accounted for somewhere, and every
+WAN byte must be attributable to a transfer category.  These helpers
+assert that, property-style, over *every* entry of a document — tests
+import them instead of re-deriving the arithmetic per suite, so the
+accounting contract is stated exactly once.
+
+The two invariants:
+
+* **request conservation** — ``requests == finished + shed + lost + incomplete``
+  with every term non-negative.  Entries name the terms differently per
+  schema (fleet entries have no ``lost_to_fault``; only chaos entries
+  carry ``incomplete`` explicitly), so the helper reads what exists and
+  derives the rest.
+* **KV-byte balance** — ``cross_cluster_bytes == dispatch_bytes +
+  migration_bytes`` (chaos entries; other schemas don't split the bytes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+
+def entry_label(entry: Dict) -> str:
+    """A short identity string for assertion messages."""
+    parts = [
+        str(entry.get(key))
+        for key in ("scenario", "policy", "router", "faults", "migration")
+        if key in entry
+    ]
+    return "/".join(parts) or "<entry>"
+
+
+def assert_request_conservation(entry: Dict) -> None:
+    """Every submitted request is finished, shed, lost, or incomplete.
+
+    Works across the fleet / multicluster / chaos entry schemas: missing
+    categories default to zero, and when the entry does not carry
+    ``incomplete`` explicitly it is derived as the residual — which must
+    then be non-negative (no category may over-count).
+    """
+    label = entry_label(entry)
+    requests = entry["requests"]
+    finished = entry["finished"]
+    shed = entry.get("shed", 0)
+    lost = entry.get("lost_to_fault", 0)
+    assert requests >= 0 and finished >= 0 and shed >= 0 and lost >= 0, (
+        f"{label}: negative accounting term"
+    )
+    incomplete = entry.get("incomplete", requests - finished - shed - lost)
+    assert incomplete >= 0, (
+        f"{label}: over-counted — finished={finished} shed={shed} "
+        f"lost={lost} exceed requests={requests}"
+    )
+    assert requests == finished + shed + lost + incomplete, (
+        f"{label}: requests={requests} != finished={finished} + shed={shed} "
+        f"+ lost={lost} + incomplete={incomplete}"
+    )
+    if requests:
+        assert entry["completion_ratio"] == finished / requests, (
+            f"{label}: completion_ratio inconsistent with finished/requests"
+        )
+
+
+def assert_kv_bytes_balance(entry: Dict, rel_tol: float = 1e-9) -> None:
+    """Every WAN byte is either per-request dispatch or a session move."""
+    label = entry_label(entry)
+    total = entry["cross_cluster_bytes"]
+    dispatch = entry.get("dispatch_bytes", total)
+    migration = entry.get("migration_bytes", 0.0)
+    assert total >= 0.0 and dispatch >= 0.0 and migration >= 0.0, (
+        f"{label}: negative byte count"
+    )
+    tolerance = rel_tol * max(1.0, abs(total))
+    assert abs(total - (dispatch + migration)) <= tolerance, (
+        f"{label}: cross_cluster_bytes={total} != dispatch_bytes={dispatch} "
+        f"+ migration_bytes={migration}"
+    )
+
+
+def assert_document_invariants(document: Dict) -> List[Dict]:
+    """Apply every applicable invariant to every entry of a document.
+
+    Returns the entries checked (so callers can assert non-emptiness).
+    """
+    entries: Iterable[Dict] = document["entries"]
+    checked = []
+    for entry in entries:
+        assert_request_conservation(entry)
+        if "cross_cluster_bytes" in entry:
+            assert_kv_bytes_balance(entry)
+        checked.append(entry)
+    assert checked, "document has no entries to check"
+    return checked

@@ -89,6 +89,7 @@ class TestSchema:
             "scenarios",
             "fleet",
             "multicluster",
+            "chaos",
             "sweep_cache",
         }
 

@@ -60,6 +60,18 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "(new)" in out and "(gone)" in out
 
+    def test_chaos_row_first_landing_is_new_and_passes(self, tmp_path, capsys):
+        # The chaos bench row has no main-branch baseline on its first
+        # landing; the gate must report it as (new) without failing.
+        base = write(tmp_path, "a.json", document({("figure2", "-"): 10.0}))
+        curr = write(
+            tmp_path, "b.json",
+            document({("figure2", "-"): 10.1, ("chaos", "-"): 8.0}),
+        )
+        assert bench_compare.main([str(base), str(curr), "--threshold", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out and "(new)" in out
+
     def test_matching_uses_experiment_and_policy(self, tmp_path):
         base = write(
             tmp_path, "a.json",

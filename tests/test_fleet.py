@@ -14,6 +14,7 @@ import json
 
 import pytest
 
+from invariants import assert_document_invariants
 from repro.cluster.specs import cluster_a_spec
 from repro.engine.request import Request
 from repro.experiments.runner import ExperimentScale
@@ -582,6 +583,7 @@ class TestSweep:
         assert len(document["entries"]) == 8  # 4 routers x 2 autoscalers
         assert document["routers"] == self.GRID["routers"]
         assert document["autoscalers"] == ["fixed", "elastic"]
+        assert_document_invariants(document)
         for entry in document["entries"]:
             assert entry["requests"] > 0
             assert entry["admitted"] + entry["shed"] <= entry["requests"] + entry["queue_peak"]

@@ -1,0 +1,325 @@
+"""Tests for the live-observability layer (``repro.metrics``).
+
+Covers the Prometheus text-exposition primitives (value formatting,
+label escaping, counter monotonicity, the registry's get-or-create and
+type-conflict contracts), the :class:`MetricsMonitor` streaming
+lifecycle, and the canonical samplers end-to-end on real runs — all
+validated through a minimal Prometheus text-format parser fixture
+(:func:`parse_scrape`), so what we assert on is what a real scraper
+would read, not the renderer's internals.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.cluster.specs import cluster_a_spec
+from repro.experiments.runner import ExperimentScale
+from repro.metrics import (
+    CounterFamily,
+    GaugeFamily,
+    MetricsMonitor,
+    MetricsRegistry,
+    escape_label_value,
+    format_value,
+)
+from repro.multicluster import make_multicluster_config
+from repro.multicluster.system import MultiClusterSystem
+from repro.policies import make_policy
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.sweep import build_cell_config
+from repro.serving.config import ServingConfig
+from repro.serving.system import ClusterServingSystem
+from repro.simulation.event_loop import EventLoop
+
+TINY_SCALE = ExperimentScale(
+    name="metrics-tiny",
+    num_instances=2,
+    trace_duration_s=5.0,
+    drain_timeout_s=10.0,
+)
+
+# ----------------------------------------------------------------------
+# Minimal Prometheus text-format (0.0.4) parser fixture
+# ----------------------------------------------------------------------
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL_PAIR = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "NaN":
+        return float("nan")
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_scrape(text: str):
+    """Parse one exposition into ``(types, helps, samples)``.
+
+    ``samples`` maps ``(name, ((label, value), ...))`` to
+    ``(value, timestamp_ms)`` — the same label-key shape the registry's
+    ``snapshot()`` uses, so the two are directly comparable.
+    """
+    types, helps, samples = {}, {}, {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, metric_type = line.split(" ", 3)
+            types[name] = metric_type
+        elif line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            helps[name] = help_text
+        elif not line or line.startswith("#"):
+            continue
+        else:
+            match = _SAMPLE_LINE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            labels = tuple(
+                (name, value.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\"))
+                for name, value in _LABEL_PAIR.findall(match["labels"] or "")
+            )
+            timestamp = int(match["ts"]) if match["ts"] is not None else None
+            samples[(match["name"], labels)] = (_parse_value(match["value"]), timestamp)
+    return types, helps, samples
+
+
+def split_scrapes(stream: str):
+    """Split a monitor file stream back into (sim_time_s, scrape_text)."""
+    scrapes = []
+    for chunk in re.split(r"^# scrape \d+ t=([\d.]+)\n", stream, flags=re.M)[1:]:
+        if not scrapes or len(scrapes[-1]) == 2:
+            scrapes.append([float(chunk)])
+        else:
+            scrapes[-1].append(chunk)
+    return [(t, text) for t, text in scrapes]
+
+
+class TestFormatting:
+    def test_format_value_canonical_forms(self):
+        assert format_value(3.0) == "3"
+        assert format_value(-2.0) == "-2"
+        assert format_value(0.5) == "0.5"
+        assert format_value(float("nan")) == "NaN"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert float(format_value(1e16)) == 1e16  # big ints stay exact
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_invalid_metric_names_are_rejected(self):
+        for bad in ("", "9starts_with_digit", "has-dash", "has space"):
+            with pytest.raises(ValueError):
+                CounterFamily(bad, "nope")
+
+
+class TestFamilies:
+    def test_counter_inc_accumulates_and_rejects_negative(self):
+        counter = CounterFamily("c_total", "help")
+        counter.inc(2.0, cluster="0")
+        counter.inc(3.0, cluster="0")
+        assert counter.value(cluster="0") == 5.0
+        assert counter.value(cluster="1") == 0.0  # never set
+        with pytest.raises(ValueError):
+            counter.inc(-1.0, cluster="0")
+
+    def test_counter_set_total_enforces_monotonicity(self):
+        counter = CounterFamily("c_total", "help")
+        counter.set_total(10.0)
+        counter.set_total(10.0)  # equal is fine
+        counter.set_total(11.0)
+        with pytest.raises(ValueError):
+            counter.set_total(9.0)
+        assert counter.value() == 11.0
+
+    def test_gauge_goes_up_and_down(self):
+        gauge = GaugeFamily("g", "help")
+        gauge.set(5.0)
+        gauge.set(2.0)
+        assert gauge.value() == 2.0
+
+    def test_render_sorts_labels_and_stamps_timestamps(self):
+        gauge = GaugeFamily("g", "queue depth")
+        gauge.set(1.0, cluster="1", zone="b")
+        gauge.set(2.0, cluster="0", zone="a")
+        lines = gauge.render(timestamp_ms=1500)
+        assert lines[0] == "# HELP g queue depth"
+        assert lines[1] == "# TYPE g gauge"
+        # Samples sorted by label set, each stamped.
+        assert lines[2] == 'g{cluster="0",zone="a"} 2 1500'
+        assert lines[3] == 'g{cluster="1",zone="b"} 1 1500'
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        assert registry.counter("c_total") is first
+
+    def test_type_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "as counter")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_empty_registry_exposes_nothing(self):
+        assert MetricsRegistry().expose() == ""
+
+    def test_exposition_round_trips_through_the_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "requests").set_total(7.0, cluster="0")
+        registry.gauge("depth", "queue").set(2.5, cluster="0")
+        registry.gauge("ratio", "odd values").set(float("nan"))
+        types, helps, samples = parse_scrape(registry.expose(timestamp_ms=2000))
+        assert types == {"req_total": "counter", "depth": "gauge", "ratio": "gauge"}
+        assert helps["req_total"] == "requests"
+        assert samples[("req_total", (("cluster", "0"),))] == (7.0, 2000)
+        assert samples[("depth", (("cluster", "0"),))] == (2.5, 2000)
+        value, _ = samples[("ratio", ())]
+        assert math.isnan(value)
+
+    def test_snapshot_matches_parsed_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3.0, cluster="1")
+        registry.gauge("g").set(4.0)
+        _, _, samples = parse_scrape(registry.expose())
+        flat = {
+            (name, key): value
+            for name, by_key in registry.snapshot().items()
+            for key, value in by_key.items()
+        }
+        assert flat == {key: value for key, (value, _) in samples.items()}
+
+
+class TestMonitor:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsMonitor(EventLoop(), interval_s=0.0)
+
+    @staticmethod
+    def run_monitored(tmp_path, until: float = 5.0, interval_s: float = 1.0):
+        """A monitor sampling a fake simulator counter that tracks sim time."""
+        loop = EventLoop()
+        monitor = MetricsMonitor(
+            loop, interval_s=interval_s, path=tmp_path / "stream.prom"
+        )
+
+        def source(registry, now):
+            registry.counter("sim_events_total", "cumulative").set_total(now * 10)
+            registry.gauge("sim_clock_s", "now").set(now)
+
+        monitor.add_source(source)
+        collected = []
+        monitor.add_sink(lambda text, now: collected.append((now, text)))
+        monitor.start()
+        loop.run(until=until)
+        monitor.stop()
+        return monitor, collected
+
+    def test_file_stream_splits_back_into_scrapes(self, tmp_path):
+        monitor, collected = self.run_monitored(tmp_path)
+        scrapes = split_scrapes((tmp_path / "stream.prom").read_text())
+        assert len(scrapes) == monitor.scrapes == len(collected)
+        assert monitor.scrapes >= 5
+        # File and callback sinks observed the same stream.
+        assert [t for t, _ in scrapes] == [t for t, _ in collected]
+
+    def test_counters_are_monotone_and_timestamps_increase(self, tmp_path):
+        _, collected = self.run_monitored(tmp_path)
+        last_total, last_ts = -1.0, -1
+        for _, text in collected:
+            _, _, samples = parse_scrape(text)
+            total, timestamp = samples[("sim_events_total", ())]
+            assert total >= last_total and timestamp >= last_ts
+            last_total, last_ts = total, timestamp
+
+    def test_stop_emits_a_final_scrape_matching_the_snapshot(self, tmp_path):
+        monitor, collected = self.run_monitored(tmp_path)
+        _, final_text = collected[-1]
+        _, _, samples = parse_scrape(final_text)
+        flat = {
+            (name, key): value
+            for name, by_key in monitor.snapshot().items()
+            for key, value in by_key.items()
+        }
+        assert flat == {key: value for key, (value, _) in samples.items()}
+        # The final scrape is the end state: the clock gauge reads the horizon.
+        assert flat[("sim_clock_s", ())] == pytest.approx(5.0)
+
+
+class TestSystemSources:
+    def test_single_cluster_run_streams_consistent_scrapes(self, tmp_path):
+        spec = get_scenario("steady-poisson")
+        config = ServingConfig(cluster=cluster_a_spec(num_servers=2), drain_timeout_s=10.0)
+        system = ClusterServingSystem(config, make_policy("vllm"))
+        monitor = system.attach_metrics(path=tmp_path / "cluster.prom", interval_s=1.0)
+        result = system.run(spec.build_workload(TINY_SCALE, 1))
+
+        scrapes = split_scrapes((tmp_path / "cluster.prom").read_text())
+        assert len(scrapes) == monitor.scrapes >= 5
+        submitted_key = ("repro_requests_submitted_total", (("cluster", "0"),))
+        finished_key = ("repro_requests_finished_total", (("cluster", "0"),))
+        last = {submitted_key: -1.0, finished_key: -1.0}
+        for _, text in scrapes:
+            types, _, samples = parse_scrape(text)
+            assert types["repro_requests_submitted_total"] == "counter"
+            assert types["repro_queue_depth"] == "gauge"
+            for key in last:
+                value, _ = samples[key]
+                assert value >= last[key]  # counters never go backwards
+                last[key] = value
+        # The final scrape agrees with the run result.
+        assert last[submitted_key] == float(result.submitted_requests)
+        assert last[finished_key] == float(result.finished_requests)
+
+    @pytest.mark.chaos
+    def test_tier_scrapes_expose_the_outage_and_migration_outcome(self, tmp_path):
+        from repro.chaos.sweep import cell_schedule
+
+        spec = get_scenario("steady-poisson")
+        # Generous drain: the final scrape should show recovery *finished*
+        # (displaced_pending back to zero), not still in flight.
+        scale = ExperimentScale(
+            name="metrics-chaos", num_instances=2,
+            trace_duration_s=5.0, drain_timeout_s=60.0,
+        )
+        config = build_cell_config(spec, scale, seed=3)
+        config.multicluster = make_multicluster_config(
+            num_clusters=2,
+            global_router="locality_affinity",
+            session_migration="migrate",
+        )
+        config.chaos = cell_schedule("cluster-outage", scale, seed=3)
+        system = MultiClusterSystem(config, lambda: make_policy("vllm"))
+        monitor = system.attach_metrics(path=tmp_path / "tier.prom", interval_s=1.0)
+        system.run(spec.build_workload(scale, 3))
+
+        scrapes = split_scrapes((tmp_path / "tier.prom").read_text())
+        assert len(scrapes) == monitor.scrapes > 0
+        alive0 = ("repro_cluster_alive", (("cluster", "0"),))
+        outage_cluster = config.chaos.events[0].cluster
+        seen_alive = set()
+        for _, text in scrapes:
+            _, _, samples = parse_scrape(text)
+            if ("repro_cluster_alive", (("cluster", str(outage_cluster)),)) in samples:
+                seen_alive.add(samples[("repro_cluster_alive", (("cluster", str(outage_cluster)),))][0])
+        assert seen_alive == {0.0, 1.0}  # up before the outage, down after
+
+        _, _, final = parse_scrape(scrapes[-1][1])
+        assert final[("repro_faults_total", ())][0] == 1.0
+        assert final[("repro_requests_lost_total", ())][0] == 0.0  # migrate
+        assert final[("repro_displaced_pending", ())][0] == 0.0  # all recovered
+        assert final[("repro_cross_cluster_bytes_total", ())][0] > 0.0
+        assert final[alive0][0] == 0.0  # the preset outage targets cluster 0

@@ -18,6 +18,7 @@ import json
 
 import pytest
 
+from invariants import assert_document_invariants
 from repro.cluster.network import (
     CrossClusterLink,
     InterClusterLinkSpec,
@@ -448,6 +449,7 @@ class TestSweep:
         assert len(document["entries"]) == 2
         assert document["routers"] == self.GRID["routers"]
         assert document["cluster_counts"] == [2]
+        assert_document_invariants(document)
         for entry in document["entries"]:
             assert entry["requests"] > 0
             assert entry["local_routed"] + entry["remote_routed"] == entry["requests"]
