@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Run the online-serving sweep (open- vs. closed-loop clients x retry x
+# backpressure) and write SERVE_results.json at the repository root.
+# Extra arguments are forwarded to `python -m repro.serve` (e.g.
+# `scripts/serve.sh --scale full`, `scripts/serve.sh --list-retries`,
+# `scripts/serve.sh --clients open 16 64 --retries none backoff`,
+# `scripts/serve.sh --metrics-out serve_metrics.prom`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m repro.serve "$@"

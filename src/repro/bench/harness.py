@@ -59,6 +59,7 @@ from repro.fleet.sweep import run_fleet_sweep
 from repro.chaos.sweep import run_chaos_sweep
 from repro.multicluster.sweep import run_multicluster_sweep
 from repro.scenarios.sweep import run_sweep
+from repro.serve.sweep import run_serve_sweep
 from repro.serving.system import ClusterServingSystem
 from repro.simulation.event_loop import EventLoop
 from repro.sweeps import SweepTask, run_tasks
@@ -257,6 +258,28 @@ def _chaos_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
     )
 
 
+def _serve_sweep_benchmark(scale: ExperimentScale, seed: int) -> Dict:
+    """A small online-serving sweep so its cost is tracked across PRs.
+
+    The open-loop baseline plus one closed-loop retry+backpressure cell —
+    the goodput comparison the serve acceptance test pins.  Runs inline
+    (``max_workers=1``) so the event-loop meter in this process sees the
+    simulated events, and uncached so the row keeps measuring real
+    execution; the parallel and cached paths are covered by
+    ``tests/test_serve.py`` and the ``repro.serve`` CLI.
+    """
+    return run_serve_sweep(
+        scenarios=("spike-train",),
+        policies=("vllm",),
+        clients=("open", "16"),
+        retries=("backoff",),
+        backpressures=("on",),
+        scale=dataclasses.replace(scale, name=f"serve-{scale.name}"),
+        seed=seed,
+        max_workers=1,
+    )
+
+
 def _sweep_cache_benchmark(scale: ExperimentScale, seed: int) -> Dict[str, float]:
     """Cold vs. warm scenario+fleet sweep through the result cache.
 
@@ -330,6 +353,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "fleet": _fleet_sweep_benchmark,
     "multicluster": _multicluster_sweep_benchmark,
     "chaos": _chaos_sweep_benchmark,
+    "serve": _serve_sweep_benchmark,
     "sweep_cache": _sweep_cache_benchmark,
 }
 

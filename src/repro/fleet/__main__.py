@@ -6,7 +6,9 @@ and writes ``FLEET_results.json`` to the repository root (see
 ``--output``).  Unchanged cells are served from the on-disk result cache
 (``.repro_cache/``); disable with ``--no-cache``, inspect with
 ``--cache-stats``, purge with ``--clear-cache``.  ``--list-routers`` /
-``--list-autoscalers`` show the registries.
+``--list-autoscalers`` / ``--list-faults`` show the registries, and
+``--faults`` adds single-cluster fault presets (``none``,
+``instance-kill``, ``churn``) as a grid axis.
 """
 
 from __future__ import annotations
@@ -18,10 +20,12 @@ from repro.fleet.config import AUTOSCALER_PRESETS, list_autoscaler_presets
 from repro.fleet.routing import list_routers
 from repro.fleet.schema import validate_document
 from repro.fleet.sweep import (
+    DEFAULT_FAULTS,
     DEFAULT_POLICIES,
     DEFAULT_SCENARIOS,
     FLEET_SCALES,
     format_results,
+    list_fleet_fault_presets,
     run_fleet_sweep,
     write_results,
 )
@@ -71,6 +75,13 @@ def main(argv=None) -> int:
         metavar="PRESET",
         help="autoscaler presets (default: all presets)",
     )
+    parser.add_argument(
+        "--faults",
+        nargs="*",
+        default=None,
+        metavar="PRESET",
+        help=f"fault-schedule presets (default: {' '.join(DEFAULT_FAULTS)})",
+    )
     parser.add_argument("--seed", type=int, default=42, help="sweep seed")
     parser.add_argument(
         "--workers",
@@ -98,6 +109,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="list autoscaler presets and exit",
     )
+    parser.add_argument(
+        "--list-faults",
+        action="store_true",
+        help="list single-cluster fault presets and exit",
+    )
     args = parser.parse_args(argv)
 
     if args.list_routers:
@@ -109,6 +125,10 @@ def main(argv=None) -> int:
             preset = AUTOSCALER_PRESETS[name]
             state = "elastic" if preset.enabled else "fixed fleet"
             print(f"{name:<10} {state}")
+        return 0
+    if args.list_faults:
+        for name in list_fleet_fault_presets():
+            print(name)
         return 0
     if args.clear_cache:
         return clear_cache(args)
@@ -128,6 +148,7 @@ def main(argv=None) -> int:
                     if args.autoscalers is not None
                     else list_autoscaler_presets()
                 )
+                * len(args.faults if args.faults is not None else DEFAULT_FAULTS)
             )
             max_workers = max(1, min(grid, effective_worker_count()))
         document = run_fleet_sweep(
@@ -135,6 +156,7 @@ def main(argv=None) -> int:
             policies=args.policies,
             routers=args.routers,
             autoscalers=args.autoscalers,
+            faults=args.faults,
             scale=FLEET_SCALES[args.scale],
             seed=args.seed,
             max_workers=max_workers,

@@ -57,6 +57,9 @@ class AdmissionController:
         self.shed = 0
         self.queue_peak = 0
         self.shed_requests: List[Request] = []
+        #: called with each shed request, synchronously at the shed decision
+        #: — the online serving frontend's clients key retries off this.
+        self.shed_listeners: List[Callable[[Request], None]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -208,3 +211,5 @@ class AdmissionController:
     def _shed(self, request: Request) -> None:
         self.shed += 1
         self.shed_requests.append(request)
+        for listener in self.shed_listeners:
+            listener(request)

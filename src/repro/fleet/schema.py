@@ -28,6 +28,7 @@ Top-level document::
       "policies": [str, ...],     # overload-policy keys swept, in order
       "routers": [str, ...],      # router strategies swept, in order
       "autoscalers": [str, ...],  # autoscaler preset names swept, in order
+      "faults": [str, ...],       # fault presets swept ("none" baseline)
       "entries": [FleetEntry, ...],
       "cache_hits": int,          # cells served from .repro_cache (additive
                                   # in schema v1; 0 when caching is off)
@@ -35,7 +36,7 @@ Top-level document::
       "wall_s_total": float       # host wall-clock of the whole sweep
     }
 
-Each entry (one scenario × policy × router × autoscaler cell)::
+Each entry (one scenario × policy × router × autoscaler × faults cell)::
 
     {
       "scenario": str,            # registry name, e.g. "spike-train"
@@ -43,6 +44,9 @@ Each entry (one scenario × policy × router × autoscaler cell)::
       "policy_name": str,         # display name, e.g. "vLLM (DP)"
       "router": str,              # router strategy, e.g. "power_of_two_choices"
       "autoscaler": str,          # preset name, "fixed" or "elastic"
+      "faults": str,              # fault preset: "none", "instance-kill",
+                                  # "churn" (single-cluster shapes only)
+      "fault_events": int,        # materialised fault events in the cell
       "workload": str,            # materialised workload name
       "requests": int,            # requests submitted
       "admitted": int,            # requests dispatched to a serving group
@@ -84,6 +88,7 @@ DOCUMENT_KEYS = (
     "policies",
     "routers",
     "autoscalers",
+    "faults",
     "entries",
     "wall_s_total",
 )
@@ -99,6 +104,8 @@ ENTRY_KEYS = (
     "policy_name",
     "router",
     "autoscaler",
+    "faults",
+    "fault_events",
     "workload",
     "requests",
     "admitted",
@@ -164,7 +171,7 @@ def validate_document(document: Dict) -> List[str]:
     for key in SCALE_KEYS:
         if key not in document.get("scale", {}):
             problems.append(f"missing scale key {key!r}")
-    for key in ("scenarios", "policies", "routers", "autoscalers"):
+    for key in ("scenarios", "policies", "routers", "autoscalers", "faults"):
         if key in document and not isinstance(document[key], list):
             problems.append(f"{key} must be a list")
     entries = document.get("entries", [])

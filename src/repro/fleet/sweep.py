@@ -2,9 +2,16 @@
 the unified sweep engine.
 
 Replays registered scenarios (:mod:`repro.scenarios.registry`) through
-fleet-enabled serving systems, varying the router strategy and the
-autoscaler preset, and aggregates the results into a stable-schema
-``FLEET_results.json`` document (:mod:`repro.fleet.schema`).
+fleet-enabled serving systems, varying the router strategy, the
+autoscaler preset and (optionally) a fault-schedule preset, and
+aggregates the results into a stable-schema ``FLEET_results.json``
+document (:mod:`repro.fleet.schema`).
+
+The ``faults`` axis materialises :mod:`repro.chaos` presets against the
+single-cluster topology — only the instance-kill shapes (``none``,
+``instance-kill``, ``churn``) apply; cluster outages and WAN degradation
+are tier-level faults that belong to the ``python -m repro.chaos`` sweep.
+The default axis is ``("none",)`` so the baseline grid is unchanged.
 
 Execution mirrors :mod:`repro.scenarios.sweep` exactly: every cell is a
 :class:`~repro.sweeps.task.SweepTask` (content hash over the scenario
@@ -25,6 +32,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.chaos.config import fault_schedule_preset, schedule_fingerprint
 from repro.experiments.runner import ExperimentScale
 from repro.fleet.config import AdmissionConfig, list_autoscaler_presets, make_fleet_config
 from repro.fleet.routing import list_routers
@@ -58,9 +66,20 @@ FLEET_SCALES: Dict[str, ExperimentScale] = {
 }
 
 #: Default grid axes: one bursty scenario, one policy, every router, both
-#: elasticity presets.
+#: elasticity presets, no faults.
 DEFAULT_SCENARIOS: Tuple[str, ...] = ("spike-train",)
 DEFAULT_POLICIES: Tuple[str, ...] = ("vllm",)
+DEFAULT_FAULTS: Tuple[str, ...] = ("none",)
+
+#: The :func:`repro.chaos.config.fault_schedule_preset` names a
+#: single-cluster fleet can inject (instance kills only; outages and WAN
+#: faults need the multicluster tier).
+FLEET_FAULT_PRESETS: Tuple[str, ...] = ("none", "instance-kill", "churn")
+
+
+def list_fleet_fault_presets() -> List[str]:
+    """Fault presets the fleet sweep accepts on its ``faults`` axis."""
+    return list(FLEET_FAULT_PRESETS)
 
 #: Admission settings used by every sweep cell: tight enough that bounded
 #: queues and SLO shedding are exercised under the burst scenarios, loose
@@ -89,6 +108,8 @@ class FleetCellResult:
     policy_name: str
     router: str
     autoscaler: str
+    faults: str
+    fault_events: int
     workload: str
     requests: int
     finished: int
@@ -100,6 +121,27 @@ class FleetCellResult:
     wall_s: float
 
 
+def fleet_fault_schedule(faults: str, scale: ExperimentScale, seed: int):
+    """Materialise a fault preset against the single-cluster topology.
+
+    Raises :class:`KeyError` for names outside
+    :data:`FLEET_FAULT_PRESETS` — including valid chaos presets like
+    ``cluster-outage`` that a standalone fleet cannot inject.
+    """
+    if faults not in FLEET_FAULT_PRESETS:
+        raise KeyError(
+            f"unknown fleet fault preset {faults!r}; "
+            f"known: {', '.join(FLEET_FAULT_PRESETS)}"
+        )
+    return fault_schedule_preset(
+        faults,
+        duration_s=scale.trace_duration_s,
+        num_clusters=1,
+        instances_per_cluster=scale.num_instances,
+        seed=seed,
+    )
+
+
 def run_fleet_cell(
     scenario: Union[str, ScenarioSpec],
     policy_key: str,
@@ -107,9 +149,10 @@ def run_fleet_cell(
     autoscaler: str,
     scale: ExperimentScale,
     seed: int = 42,
+    faults: str = "none",
 ) -> FleetCellResult:
-    """Run one scenario under one (policy, router, autoscaler) combination;
-    the in-process cell primitive."""
+    """Run one scenario under one (policy, router, autoscaler, faults)
+    combination; the in-process cell primitive."""
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     workload = spec.build_workload(scale, seed)
     policy = make_policy(policy_key)
@@ -117,6 +160,8 @@ def run_fleet_cell(
     config.fleet = make_fleet_config(
         router=router, autoscaler=autoscaler, admission=SWEEP_ADMISSION
     )
+    schedule = fleet_fault_schedule(faults, scale, seed)
+    config.chaos = schedule if schedule else None
     start = time.perf_counter()
     system = ClusterServingSystem(config, policy)
     initial_groups = len(system.groups)
@@ -128,6 +173,8 @@ def run_fleet_cell(
         policy_name=policy.name,
         router=router,
         autoscaler=autoscaler,
+        faults=faults,
+        fault_events=len(schedule.events),
         workload=workload.name,
         requests=result.submitted_requests,
         finished=result.finished_requests,
@@ -152,6 +199,7 @@ def run_fleet_cell_payload(params: Mapping[str, Any], seed: int) -> Dict[str, An
         params["autoscaler"],
         params["scale"],
         seed,
+        params.get("faults", "none"),
     )
     return dataclasses.asdict(cell)
 
@@ -163,6 +211,7 @@ def fleet_cell_task(
     autoscaler: str,
     scale: ExperimentScale,
     seed: int,
+    faults: str = "none",
 ) -> SweepTask:
     """Describe one fleet grid cell as a cacheable sweep task."""
     return SweepTask(
@@ -173,6 +222,7 @@ def fleet_cell_task(
             "router": router,
             "autoscaler": autoscaler,
             "scale": scale,
+            "faults": faults,
         },
         key={
             "kind": "fleet-cell",
@@ -181,11 +231,15 @@ def fleet_cell_task(
             "policy": policy,
             "router": router,
             "autoscaler": autoscaler,
+            # The materialised schedule, not just the preset name: a
+            # "churn" cell's cache entry must turn over when the hazard
+            # rate or the sampled event times change.
+            "faults": schedule_fingerprint(fleet_fault_schedule(faults, scale, seed)),
             "admission": dataclasses.asdict(SWEEP_ADMISSION),
             "scale": dataclasses.asdict(scale),
         },
         seed=seed,
-        label=f"{spec.name}/{policy}/{router}/{autoscaler}",
+        label=f"{spec.name}/{policy}/{router}/{autoscaler}/{faults}",
     )
 
 
@@ -220,6 +274,8 @@ def _scenario_entries(
                 "policy_name": cell["policy_name"],
                 "router": cell["router"],
                 "autoscaler": cell["autoscaler"],
+                "faults": cell["faults"],
+                "fault_events": cell["fault_events"],
                 "workload": cell["workload"],
                 "requests": cell["requests"],
                 "admitted": int(stats["admitted"]),
@@ -255,19 +311,23 @@ def run_fleet_sweep(
     policies: Optional[Sequence[str]] = None,
     routers: Optional[Sequence[str]] = None,
     autoscalers: Optional[Sequence[str]] = None,
+    faults: Optional[Sequence[str]] = None,
     scale: ExperimentScale = QUICK_FLEET_SCALE,
     seed: int = 42,
     max_workers: Optional[int] = None,
     use_cache: bool = False,
     cache_dir: Optional[Path] = None,
 ) -> Dict:
-    """Sweep the scenario × policy × router × autoscaler grid.
+    """Sweep the scenario × policy × router × autoscaler × faults grid.
 
     Args:
         scenarios: scenario names (default: :data:`DEFAULT_SCENARIOS`).
         policies: overload-policy keys (default: :data:`DEFAULT_POLICIES`).
         routers: router strategies (default: every registered router).
         autoscalers: autoscaler preset names (default: every preset).
+        faults: fault-schedule presets, a subset of
+            :data:`FLEET_FAULT_PRESETS` (default: ``("none",)`` — the
+            baseline grid without chaos).
         scale: cluster size / trace length of every cell.
         seed: sweep seed; every cell derives its randomness from it.
         max_workers: worker processes; ``1`` runs cells inline (no pool),
@@ -285,6 +345,7 @@ def run_fleet_sweep(
     scaler_names = (
         list(autoscalers) if autoscalers is not None else list_autoscaler_presets()
     )
+    fault_names = list(faults) if faults is not None else list(DEFAULT_FAULTS)
     unknown = [n for n in names if n not in list_scenarios()]
     if unknown:
         raise KeyError(f"unknown scenarios {unknown}; known: {', '.join(list_scenarios())}")
@@ -297,17 +358,27 @@ def run_fleet_sweep(
             f"unknown autoscaler presets {unknown}; "
             f"known: {', '.join(list_autoscaler_presets())}"
         )
+    unknown = [f for f in fault_names if f not in FLEET_FAULT_PRESETS]
+    if unknown:
+        raise KeyError(
+            f"unknown fleet fault presets {unknown}; "
+            f"known: {', '.join(FLEET_FAULT_PRESETS)} "
+            f"(tier-level presets belong to python -m repro.chaos)"
+        )
     if not names or not policy_keys or not router_names or not scaler_names:
+        raise ValueError("the fleet sweep needs at least one value on every axis")
+    if not fault_names:
         raise ValueError("the fleet sweep needs at least one value on every axis")
     if max_workers is not None and max_workers < 1:
         raise ValueError("max_workers must be >= 1")
     specs = [get_scenario(name) for name in names]
     tasks = [
-        fleet_cell_task(spec, policy, router, scaler, scale, seed)
+        fleet_cell_task(spec, policy, router, scaler, scale, seed, preset)
         for spec in specs
         for policy in policy_keys
         for router in router_names
         for scaler in scaler_names
+        for preset in fault_names
     ]
 
     cache = ResultCache(cache_dir) if use_cache else None
@@ -336,6 +407,7 @@ def run_fleet_sweep(
         "policies": policy_keys,
         "routers": router_names,
         "autoscalers": scaler_names,
+        "faults": fault_names,
         "entries": entries,
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,
@@ -359,13 +431,14 @@ def format_results(document: Dict) -> str:
         f"· seed {document['seed']} · {len(document['entries'])} cells "
         f"in {document['wall_s_total']:.1f}s",
         f"{'scenario':<16} {'policy':<9} {'router':<21} {'scaler':<8} "
-        f"{'reqs':>5} {'fin':>5} {'shed':>5} {'up':>3} {'dn':>3} "
+        f"{'faults':<13} {'reqs':>5} {'fin':>5} {'shed':>5} {'up':>3} {'dn':>3} "
         f"{'ttft_p50':>9} {'slo_att':>8}",
     ]
     for entry in document["entries"]:
         lines.append(
             f"{entry['scenario']:<16} {entry['policy']:<9} {entry['router']:<21} "
-            f"{entry['autoscaler']:<8} {entry['requests']:>5d} {entry['finished']:>5d} "
+            f"{entry['autoscaler']:<8} {entry['faults']:<13} "
+            f"{entry['requests']:>5d} {entry['finished']:>5d} "
             f"{entry['shed']:>5d} {entry['scale_up_events']:>3d} "
             f"{entry['scale_down_events']:>3d} {entry['ttft_p50']:>9.3f} "
             f"{entry['slo_attainment']:>8.2f}"

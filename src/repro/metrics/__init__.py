@@ -17,7 +17,11 @@ from repro.metrics.prometheus import (
     escape_label_value,
     format_value,
 )
-from repro.metrics.sources import fleet_metrics_source, tier_metrics_source
+from repro.metrics.sources import (
+    client_metrics_source,
+    fleet_metrics_source,
+    tier_metrics_source,
+)
 
 __all__ = [
     "MetricsMonitor",
@@ -27,6 +31,7 @@ __all__ = [
     "GaugeFamily",
     "escape_label_value",
     "format_value",
+    "client_metrics_source",
     "fleet_metrics_source",
     "tier_metrics_source",
 ]

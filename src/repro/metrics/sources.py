@@ -60,6 +60,40 @@ def fleet_metrics_source(system, cluster: str = "0"):
     return sample
 
 
+def client_metrics_source(population, frontend: str = "clients"):
+    """Sampler for a :class:`~repro.serve.clients.ClosedLoopPopulation`.
+
+    Exposes the client-side view the fleet counters cannot see: how many
+    closed-loop clients still have work, and how often they retried or
+    abandoned intents.  ``python -m repro.serve --metrics-out`` adds this
+    on top of :func:`fleet_metrics_source` for closed-loop cells.
+    """
+
+    def sample(registry: MetricsRegistry, now: float) -> None:
+        registry.gauge(
+            "repro_serve_active_clients",
+            "Closed-loop clients that still have intents to run",
+        ).set(float(population.active_clients), frontend=frontend)
+        registry.gauge(
+            "repro_serve_inflight_attempts",
+            "Client attempts submitted but not yet finished or shed",
+        ).set(float(population.in_flight), frontend=frontend)
+        registry.counter(
+            "repro_serve_retries_total",
+            "Retry attempts submitted after an admission shed",
+        ).set_total(float(population.retries), frontend=frontend)
+        registry.counter(
+            "repro_serve_give_ups_total",
+            "Intents abandoned after exhausting their attempt budget",
+        ).set_total(float(population.gave_up), frontend=frontend)
+        registry.counter(
+            "repro_serve_finished_intents_total",
+            "Intents completed (client-observed goodput)",
+        ).set_total(float(population.finished), frontend=frontend)
+
+    return sample
+
+
 def tier_metrics_source(tier):
     """Sampler for a :class:`~repro.multicluster.system.MultiClusterSystem`.
 

@@ -1,0 +1,83 @@
+"""Online gateway: feed an arrival stream into the loop incrementally.
+
+The rest of the stack pre-schedules every arrival of a workload before
+the simulation starts (``schedule_workload``).  The gateway replaces
+that with a strict online protocol:
+
+1. at ``start()`` it pulls **one** arrival from the source and schedules
+   its submission via :meth:`~repro.serving.system.ClusterServingSystem.submit_at`;
+2. only when that arrival fires — i.e. when simulation time has reached
+   it — does the gateway pull the next one.
+
+So at any instant the gateway holds at most one not-yet-due arrival, and
+the source is never advanced more than one element past current
+simulation time.  ``tests/test_serve.py`` proves this with a source that
+raises on early pulls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from repro.engine.request import Request
+from repro.workloads.trace import TracedRequest
+
+_EXHAUSTED = object()
+
+
+class OnlineGateway:
+    """Replays an arrival stream into a serving system, one pull at a time."""
+
+    def __init__(
+        self,
+        system,
+        arrivals: Union[Iterable[TracedRequest], Iterator[TracedRequest]],
+        *,
+        name: str = "gateway",
+    ) -> None:
+        self.system = system
+        self.name = name
+        self._arrivals = iter(arrivals)
+        #: arrivals submitted to the system so far.
+        self.submitted = 0
+        #: True once the source is exhausted and every pulled arrival fired.
+        self.done = False
+        self._last_arrival_time: float = float("-inf")
+
+    def start(self) -> None:
+        """Begin ingestion: pull and schedule the first arrival."""
+        self._pull_next()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _pull_next(self) -> None:
+        arrival = next(self._arrivals, _EXHAUSTED)
+        if arrival is _EXHAUSTED:
+            self.done = True
+            return
+        at = float(arrival.arrival_time)
+        if at < self._last_arrival_time:
+            raise ValueError(
+                f"{self.name}: arrival stream is not time-ordered "
+                f"({at:.3f} after {self._last_arrival_time:.3f})"
+            )
+        self._last_arrival_time = at
+        # A shared loop may already be past the stream's early timestamps
+        # (e.g. a gateway attached mid-run); those arrive "now".
+        at = max(at, self.system.loop.now)
+        request = Request(
+            arrival_time=at,
+            prompt_tokens=arrival.prompt_tokens,
+            max_output_tokens=arrival.output_tokens,
+            slo_class=arrival.slo_class,
+            session_id=arrival.session_id,
+        )
+        self.system.submit_at(request, at)
+        # Same timestamp, scheduled after submit_at: the loop's stable FIFO
+        # order guarantees the submission happens before the next pull.
+        self.system.loop.schedule_at(at, self._advance, name=f"{self.name}-pull")
+
+    def _advance(self) -> None:
+        self.submitted += 1
+        self._pull_next()

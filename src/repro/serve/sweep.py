@@ -1,0 +1,664 @@
+"""Serve sweep (scenario × policy × clients × retry × backpressure grid),
+executed by the unified sweep engine.
+
+Every cell replays a registered scenario through a fleet-enabled serving
+system **online** — arrivals enter the loop incrementally, never
+pre-scheduled — under one of two frontends:
+
+* ``clients="open"`` — an :class:`~repro.serve.gateway.OnlineGateway`
+  replays the scenario trace on its original schedule, no matter how
+  the system is doing (the open-loop baseline).  Retry and backpressure
+  do not apply, so open cells are pinned to ``retry="none"``,
+  ``backpressure="off"``;
+* ``clients="<N>"`` — a :class:`~repro.serve.clients.ClosedLoopPopulation`
+  of N clients works through the *same* trace as session-aware intent
+  scripts, pacing itself with seeded think times, retrying sheds with
+  bounded backoff and optionally throttling under backpressure.
+
+The admission settings are deliberately tight (shallow queues, short
+TTFT shed budget) so the default overload scenario actually sheds —
+open- vs. closed-loop and retry vs. give-up become *measured*
+differences, which is what ``tests/test_serve.py`` pins.
+
+Execution mirrors :mod:`repro.fleet.sweep` exactly: every cell is a
+:class:`~repro.sweeps.task.SweepTask` (content hash over the scenario
+fingerprint, frontend configuration, fleet config, scale, seed and
+``repro`` version), cache hits skip recomputation, misses fan out over
+the engine's shared warm worker pool, and the assembled
+``SERVE_results.json`` document is bit-identical across runs, worker
+counts, and cold vs. warm caches, modulo the ``wall_s*`` and
+cache-accounting fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments.runner import ExperimentScale
+from repro.fleet.config import AdmissionConfig, make_fleet_config
+from repro.policies import make_policy
+from repro.scenarios.registry import ScenarioSpec, get_scenario, list_scenarios
+from repro.scenarios.sweep import build_cell_config, spec_fingerprint
+from repro.serve.clients import ClosedLoopPopulation
+from repro.serve.config import (
+    BACKPRESSURE_MODES,
+    RETRY_POLICIES,
+    ClientPopulationConfig,
+    list_backpressure_modes,
+    list_retry_policies,
+)
+from repro.serve.gateway import OnlineGateway
+from repro.serve.schema import SCHEMA_VERSION
+from repro.serve.sources import workload_arrivals
+from repro.serving.system import ClusterServingSystem
+from repro.sweeps import ResultCache, SweepTask, run_tasks
+from repro.version import __version__
+from repro.workloads.slo import LatencyRecord, baseline_p50, slo_violation_ratio
+
+#: The open-loop token of the ``clients`` axis; every other token is a
+#: positive integer client count (as a string, e.g. ``"16"``).
+OPEN_LOOP = "open"
+
+#: Default sweep scale; what the ``python -m repro.serve`` acceptance run uses.
+QUICK_SERVE_SCALE = ExperimentScale(
+    name="serve-quick",
+    num_instances=2,
+    trace_duration_s=30.0,
+    drain_timeout_s=30.0,
+)
+
+FULL_SERVE_SCALE = ExperimentScale(
+    name="serve-full",
+    num_instances=4,
+    trace_duration_s=90.0,
+    drain_timeout_s=60.0,
+)
+
+SERVE_SCALES: Dict[str, ExperimentScale] = {
+    "quick": QUICK_SERVE_SCALE,
+    "full": FULL_SERVE_SCALE,
+}
+
+#: Default grid axes: the open-loop baseline against one closed-loop
+#: population, crossing both retry policies with both backpressure modes
+#: on an overload scenario.
+DEFAULT_SCENARIOS: Tuple[str, ...] = ("spike-train",)
+DEFAULT_POLICIES: Tuple[str, ...] = ("vllm",)
+DEFAULT_CLIENTS: Tuple[str, ...] = (OPEN_LOOP, "64")
+DEFAULT_RETRIES: Tuple[str, ...] = ("none", "backoff")
+DEFAULT_BACKPRESSURE: Tuple[str, ...] = ("off", "on")
+
+#: Fixed fleet configuration of every cell.  Admission is deliberately
+#: *tight* (contrast :data:`repro.fleet.sweep.SWEEP_ADMISSION`): shallow
+#: per-tenant queues and a short TTFT shed budget, so the overload
+#: scenarios shed visibly and client retry behaviour has something to
+#: react to.
+SERVE_ROUTER = "least_loaded"
+SERVE_AUTOSCALER = "fixed"
+SERVE_ADMISSION = AdmissionConfig(
+    max_queue_depth=4,
+    max_group_waiting=4,
+    ttft_shed_s=3.0,
+)
+
+#: Closed-loop pacing (see :class:`~repro.serve.config.ClientPopulationConfig`).
+THINK_TIME_MEAN_S = 0.5
+STARTUP_WINDOW_S = 1.0
+
+#: Closed-loop cells run to ``trace_duration_s * factor + drain_timeout_s``:
+#: a population pacing itself through the trace takes a multiple of the
+#: open-loop duration (intents serialise per client), and the horizon must
+#: be generous enough that retry-with-backoff can drain its give-up savings.
+CLOSED_HORIZON_FACTOR = 12.0
+
+#: Default output location: the repository root, next to BENCH_results.json.
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "SERVE_results.json"
+
+
+def client_population_config(clients: str, retry: str, backpressure: str) -> ClientPopulationConfig:
+    """The population config of one closed-loop cell (also hashed into
+    the cell's cache key, so pacing-constant changes invalidate cells)."""
+    return ClientPopulationConfig(
+        num_clients=int(clients),
+        think_time_mean_s=THINK_TIME_MEAN_S,
+        startup_window_s=STARTUP_WINDOW_S,
+        retry=RETRY_POLICIES[retry],
+        backpressure=BACKPRESSURE_MODES[backpressure],
+    )
+
+
+def cell_horizon_s(clients: str, scale: ExperimentScale) -> float:
+    """The ``run_online`` horizon of one cell."""
+    if clients == OPEN_LOOP:
+        return scale.trace_duration_s + scale.drain_timeout_s
+    return scale.trace_duration_s * CLOSED_HORIZON_FACTOR + scale.drain_timeout_s
+
+
+def _percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile; ``None`` on an empty sample."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeCellResult:
+    """Raw outcome of one grid cell, before SLO aggregation.
+
+    ``latencies`` holds one ``(client_ttft, mean_tpot)`` pair per *intent*
+    (``(None, None)`` for abandoned / incomplete ones) so the aggregator
+    can derive cross-cell SLO baselines from client-perceived latency.
+    """
+
+    scenario: str
+    policy: str
+    policy_name: str
+    mode: str
+    clients: str
+    retry: str
+    backpressure: str
+    router: str
+    autoscaler: str
+    workload: str
+    horizon_s: float
+    offered: int
+    issued: int
+    submitted: int
+    finished: int
+    shed: int
+    retries: int
+    retry_pending: int
+    gave_up: int
+    incomplete: int
+    client_incomplete: int
+    completion_ratio: float
+    goodput_per_submitted: float
+    client_ttft_p50: Optional[float]
+    client_ttft_p90: Optional[float]
+    client_ttft_p99: Optional[float]
+    client_e2e_p50: Optional[float]
+    summary: Dict[str, float]
+    fleet_stats: Dict[str, float]
+    latencies: Tuple[Tuple[Optional[float], Optional[float]], ...]
+    wall_s: float
+
+
+def normalize_clients(token: Union[str, int]) -> str:
+    """Canonicalise a ``clients`` axis value ("open" or a positive count)."""
+    if isinstance(token, int):
+        token = str(token)
+    if token == OPEN_LOOP:
+        return token
+    try:
+        count = int(token)
+    except ValueError:
+        raise ValueError(
+            f"clients must be {OPEN_LOOP!r} or a positive integer, got {token!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(f"client count must be >= 1, got {count}")
+    return str(count)
+
+
+def run_serve_cell(
+    scenario: Union[str, ScenarioSpec],
+    policy_key: str,
+    clients: Union[str, int],
+    retry: str,
+    backpressure: str,
+    scale: ExperimentScale,
+    seed: int = 42,
+) -> ServeCellResult:
+    """Run one scenario online under one frontend configuration; the
+    in-process cell primitive."""
+    spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
+    clients = normalize_clients(clients)
+    if clients == OPEN_LOOP and (retry != "none" or backpressure != "off"):
+        raise ValueError(
+            "open-loop cells have no clients to retry or throttle; "
+            "use retry='none', backpressure='off'"
+        )
+    workload = spec.build_workload(scale, seed)
+    policy = make_policy(policy_key)
+    config = build_cell_config(spec, scale, seed=seed)
+    config.fleet = make_fleet_config(
+        router=SERVE_ROUTER, autoscaler=SERVE_AUTOSCALER, admission=SERVE_ADMISSION
+    )
+    horizon = cell_horizon_s(clients, scale)
+    start = time.perf_counter()
+    system = ClusterServingSystem(config, policy)
+    if clients == OPEN_LOOP:
+        gateway = OnlineGateway(system, workload_arrivals(workload))
+        result = system.run_online([gateway], until=horizon, workload_name=workload.name)
+        fleet_stats = system.fleet.stats()
+        submitted = result.submitted_requests
+        finished = result.finished_requests
+        shed = int(fleet_stats["shed"])
+        # Open-loop accounting: one attempt per intent; every shed is
+        # abandoned on the spot (nobody is there to retry it).
+        counts = {
+            "offered": submitted,
+            "issued": submitted,
+            "retries": 0,
+            "retry_pending": 0,
+            "gave_up": shed,
+            "client_incomplete": submitted - finished - shed,
+        }
+        latencies = tuple((r.ttft, r.mean_tpot) for r in result.records)
+        client_ttfts = [r.ttft for r in result.records if r.ttft is not None]
+        client_e2es = [
+            r.e2e_latency for r in result.records if r.e2e_latency is not None
+        ]
+    else:
+        population = ClosedLoopPopulation(
+            system,
+            workload,
+            client_population_config(clients, retry, backpressure),
+            seed=seed,
+        )
+        result = system.run_online(
+            [population], until=horizon, workload_name=workload.name
+        )
+        fleet_stats = system.fleet.stats()
+        submitted = result.submitted_requests
+        finished = result.finished_requests
+        shed = int(fleet_stats["shed"])
+        stats = population.stats()
+        counts = {
+            "offered": stats["offered"],
+            "issued": stats["issued"],
+            "retries": stats["retries"],
+            "retry_pending": stats["retry_pending"],
+            "gave_up": stats["gave_up"],
+            "client_incomplete": stats["client_incomplete"],
+        }
+        latencies = population.client_latency_pairs()
+        client_ttfts = [t for t, _ in latencies if t is not None]
+        client_e2es = list(population.client_e2e_latencies())
+    wall_s = time.perf_counter() - start
+    return ServeCellResult(
+        scenario=spec.name,
+        policy=policy_key,
+        policy_name=policy.name,
+        mode=OPEN_LOOP if clients == OPEN_LOOP else "closed",
+        clients=clients,
+        retry=retry,
+        backpressure=backpressure,
+        router=SERVE_ROUTER,
+        autoscaler=SERVE_AUTOSCALER,
+        workload=workload.name,
+        horizon_s=horizon,
+        offered=counts["offered"],
+        issued=counts["issued"],
+        submitted=submitted,
+        finished=finished,
+        shed=shed,
+        retries=counts["retries"],
+        retry_pending=counts["retry_pending"],
+        gave_up=counts["gave_up"],
+        incomplete=submitted - finished - shed,
+        client_incomplete=counts["client_incomplete"],
+        completion_ratio=result.completion_ratio,
+        goodput_per_submitted=finished / submitted if submitted else 1.0,
+        client_ttft_p50=_percentile(client_ttfts, 50),
+        client_ttft_p90=_percentile(client_ttfts, 90),
+        client_ttft_p99=_percentile(client_ttfts, 99),
+        client_e2e_p50=_percentile(client_e2es, 50),
+        summary=result.summary,
+        fleet_stats=fleet_stats,
+        latencies=latencies,
+        wall_s=wall_s,
+    )
+
+
+def stream_cell_metrics(
+    scenario: Union[str, ScenarioSpec],
+    policy_key: str,
+    clients: Union[str, int],
+    retry: str,
+    backpressure: str,
+    scale: ExperimentScale,
+    seed: int,
+    path: Path,
+) -> int:
+    """Replay one cell inline with a live Prometheus metrics stream.
+
+    Same construction as :func:`run_serve_cell`, but with a
+    :class:`repro.metrics.MetricsMonitor` attached — including the
+    client-side source (active clients, retries, give-ups) for
+    closed-loop cells — streaming text scrapes to ``path``; returns the
+    number of scrapes written.  This is what ``python -m repro.serve
+    --metrics-out`` runs (uncached — the stream is the point).
+    """
+    spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
+    clients = normalize_clients(clients)
+    workload = spec.build_workload(scale, seed)
+    config = build_cell_config(spec, scale, seed=seed)
+    config.fleet = make_fleet_config(
+        router=SERVE_ROUTER, autoscaler=SERVE_AUTOSCALER, admission=SERVE_ADMISSION
+    )
+    system = ClusterServingSystem(config, make_policy(policy_key))
+    monitor = system.attach_metrics(path=path)
+    if clients == OPEN_LOOP:
+        frontend = OnlineGateway(system, workload_arrivals(workload))
+    else:
+        from repro.metrics import client_metrics_source
+
+        frontend = ClosedLoopPopulation(
+            system,
+            workload,
+            client_population_config(clients, retry, backpressure),
+            seed=seed,
+        )
+        monitor.add_source(client_metrics_source(frontend))
+    system.run_online(
+        [frontend], until=cell_horizon_s(clients, scale), workload_name=workload.name
+    )
+    return monitor.scrapes
+
+
+# ----------------------------------------------------------------------
+# Sweep-engine adapter
+# ----------------------------------------------------------------------
+def run_serve_cell_payload(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Sweep-engine runner: one serve cell as a JSON-able payload."""
+    cell = run_serve_cell(
+        params["scenario"],
+        params["policy"],
+        params["clients"],
+        params["retry"],
+        params["backpressure"],
+        params["scale"],
+        seed,
+    )
+    return dataclasses.asdict(cell)
+
+
+def serve_cell_task(
+    spec: ScenarioSpec,
+    policy: str,
+    clients: str,
+    retry: str,
+    backpressure: str,
+    scale: ExperimentScale,
+    seed: int,
+) -> SweepTask:
+    """Describe one serve grid cell as a cacheable sweep task."""
+    fleet = make_fleet_config(
+        router=SERVE_ROUTER, autoscaler=SERVE_AUTOSCALER, admission=SERVE_ADMISSION
+    )
+    frontend: Dict[str, Any] = {"clients": clients}
+    if clients != OPEN_LOOP:
+        frontend["population"] = dataclasses.asdict(
+            client_population_config(clients, retry, backpressure)
+        )
+    return SweepTask(
+        runner="repro.serve.sweep:run_serve_cell_payload",
+        params={
+            "scenario": spec,
+            "policy": policy,
+            "clients": clients,
+            "retry": retry,
+            "backpressure": backpressure,
+            "scale": scale,
+        },
+        key={
+            "kind": "serve-cell",
+            "schema_version": SCHEMA_VERSION,
+            "scenario": spec_fingerprint(spec),
+            "policy": policy,
+            "frontend": frontend,
+            "horizon_s": cell_horizon_s(clients, scale),
+            "fleet": {
+                **{k: v for k, v in dataclasses.asdict(fleet).items() if k != "admission"},
+                "admission": dataclasses.asdict(fleet.admission),
+            },
+            "scale": dataclasses.asdict(scale),
+        },
+        seed=seed,
+        label=f"{spec.name}/{policy}/{clients}/{retry}/{backpressure}",
+    )
+
+
+def serve_grid(
+    scenarios: Sequence[str],
+    policies: Sequence[str],
+    clients: Sequence[str],
+    retries: Sequence[str],
+    backpressures: Sequence[str],
+) -> List[Tuple[str, str, str, str, str]]:
+    """The filtered cell product of the sweep axes.
+
+    Open-loop has no clients to retry or throttle, so ``clients="open"``
+    contributes exactly one cell per (scenario, policy) — pinned to
+    ``retry="none"``, ``backpressure="off"`` — instead of a redundant
+    cell per retry × backpressure combination.
+    """
+    cells: List[Tuple[str, str, str, str, str]] = []
+    for scenario in scenarios:
+        for policy in policies:
+            for token in clients:
+                if token == OPEN_LOOP:
+                    cells.append((scenario, policy, token, "none", "off"))
+                    continue
+                for retry in retries:
+                    for backpressure in backpressures:
+                        cells.append((scenario, policy, token, retry, backpressure))
+    return cells
+
+
+def _scenario_entries(
+    spec: ScenarioSpec, cells: Sequence[Dict[str, Any]]
+) -> List[Dict]:
+    """Turn one scenario's cell payloads into schema entries with derived SLOs.
+
+    The SLO reference point is the best cell's P50 (client-perceived TTFT
+    and TPOT independently) *within this scenario* across the whole serve
+    grid, scaled by the scenario's ``slo_scale`` — so open- and
+    closed-loop cells are graded against the same healthy-system latency,
+    and abandoned intents count as violations.
+    """
+    records_by_cell = {
+        index: [LatencyRecord(t, p) for t, p in cell["latencies"]]
+        for index, cell in enumerate(cells)
+    }
+    best_ttft, best_tpot = baseline_p50(records_by_cell)
+    ttft_slo_s = spec.slo_scale * best_ttft
+    tpot_slo_s = spec.slo_scale * best_tpot
+    entries = []
+    for index, cell in enumerate(cells):
+        violation = slo_violation_ratio(
+            records_by_cell[index], ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s
+        )
+        stats = cell["fleet_stats"]
+        summary = cell["summary"]
+        entries.append(
+            {
+                "scenario": cell["scenario"],
+                "policy": cell["policy"],
+                "policy_name": cell["policy_name"],
+                "mode": cell["mode"],
+                "clients": cell["clients"],
+                "retry": cell["retry"],
+                "backpressure": cell["backpressure"],
+                "router": cell["router"],
+                "autoscaler": cell["autoscaler"],
+                "workload": cell["workload"],
+                "horizon_s": cell["horizon_s"],
+                "offered": cell["offered"],
+                "issued": cell["issued"],
+                "submitted": cell["submitted"],
+                "finished": cell["finished"],
+                "shed": cell["shed"],
+                "retries": cell["retries"],
+                "retry_pending": cell["retry_pending"],
+                "gave_up": cell["gave_up"],
+                "incomplete": cell["incomplete"],
+                "client_incomplete": cell["client_incomplete"],
+                "completion_ratio": cell["completion_ratio"],
+                "goodput_per_submitted": cell["goodput_per_submitted"],
+                "client_ttft_p50": cell["client_ttft_p50"],
+                "client_ttft_p90": cell["client_ttft_p90"],
+                "client_ttft_p99": cell["client_ttft_p99"],
+                "client_e2e_p50": cell["client_e2e_p50"],
+                "ttft_p50": summary["ttft_p50"],
+                "ttft_p90": summary["ttft_p90"],
+                "ttft_p99": summary["ttft_p99"],
+                "tpot_p50": summary["tpot_p50"],
+                "tpot_p90": summary["tpot_p90"],
+                "tpot_p99": summary["tpot_p99"],
+                "throughput_tokens_per_s": summary["throughput_tokens_per_s"],
+                "admitted": int(stats["admitted"]),
+                "queue_peak": int(stats["queue_peak"]),
+                "slo_scale": spec.slo_scale,
+                "ttft_slo_s": ttft_slo_s,
+                "tpot_slo_s": tpot_slo_s,
+                "slo_violation_ratio": violation,
+                "slo_attainment": 1.0 - violation,
+                "wall_s": cell["wall_s"],
+            }
+        )
+    return entries
+
+
+def run_serve_sweep(
+    *,
+    scenarios: Optional[Sequence[str]] = None,
+    policies: Optional[Sequence[str]] = None,
+    clients: Optional[Sequence[Union[str, int]]] = None,
+    retries: Optional[Sequence[str]] = None,
+    backpressures: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = QUICK_SERVE_SCALE,
+    seed: int = 42,
+    max_workers: Optional[int] = None,
+    use_cache: bool = False,
+    cache_dir: Optional[Path] = None,
+) -> Dict:
+    """Sweep the scenario × policy × clients × retry × backpressure grid.
+
+    Args:
+        scenarios: scenario names (default: :data:`DEFAULT_SCENARIOS`).
+        policies: overload-policy keys (default: :data:`DEFAULT_POLICIES`).
+        clients: client axis — ``"open"`` and/or positive counts
+            (default: :data:`DEFAULT_CLIENTS`).
+        retries: retry-policy names (default: :data:`DEFAULT_RETRIES`).
+        backpressures: backpressure modes (default: :data:`DEFAULT_BACKPRESSURE`).
+        scale: cluster size / trace length of every cell.
+        seed: sweep seed; every cell derives its randomness from it.
+        max_workers: worker processes; ``1`` runs cells inline (no pool),
+            ``None`` sizes the pool to the grid (capped by the CPUs this
+            process may use, cgroup limits included).
+        use_cache: serve unchanged cells from the on-disk result cache
+            and store fresh ones (the CLI enables this by default; the
+            Python API defaults to off).
+        cache_dir: cache location override (default ``.repro_cache/`` at
+            the repository root, or ``$REPRO_CACHE_DIR``).
+    """
+    names = list(scenarios) if scenarios is not None else list(DEFAULT_SCENARIOS)
+    policy_keys = list(policies) if policies is not None else list(DEFAULT_POLICIES)
+    client_tokens = [
+        normalize_clients(c)
+        for c in (clients if clients is not None else DEFAULT_CLIENTS)
+    ]
+    retry_names = list(retries) if retries is not None else list(DEFAULT_RETRIES)
+    bp_names = (
+        list(backpressures) if backpressures is not None else list(DEFAULT_BACKPRESSURE)
+    )
+    unknown = [n for n in names if n not in list_scenarios()]
+    if unknown:
+        raise KeyError(f"unknown scenarios {unknown}; known: {', '.join(list_scenarios())}")
+    unknown = [r for r in retry_names if r not in list_retry_policies()]
+    if unknown:
+        raise KeyError(
+            f"unknown retry policies {unknown}; known: {', '.join(list_retry_policies())}"
+        )
+    unknown = [b for b in bp_names if b not in list_backpressure_modes()]
+    if unknown:
+        raise KeyError(
+            f"unknown backpressure modes {unknown}; "
+            f"known: {', '.join(list_backpressure_modes())}"
+        )
+    if not names or not policy_keys or not client_tokens or not retry_names or not bp_names:
+        raise ValueError("the serve sweep needs at least one value on every axis")
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    specs = {name: get_scenario(name) for name in names}
+    grid = serve_grid(names, policy_keys, client_tokens, retry_names, bp_names)
+    tasks = [
+        serve_cell_task(specs[scenario], policy, token, retry, backpressure, scale, seed)
+        for scenario, policy, token, retry, backpressure in grid
+    ]
+
+    cache = ResultCache(cache_dir) if use_cache else None
+    start = time.perf_counter()
+    outcome = run_tasks(tasks, max_workers=max_workers, cache=cache)
+    wall_s_total = time.perf_counter() - start
+
+    by_scenario: Dict[str, List[Dict[str, Any]]] = {name: [] for name in names}
+    for cell in outcome.results:
+        by_scenario[cell["scenario"]].append(cell)
+    entries: List[Dict] = []
+    for name in names:
+        entries.extend(_scenario_entries(specs[name], by_scenario[name]))
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "repro_version": __version__,
+        "seed": seed,
+        "scale": {
+            "name": scale.name,
+            "num_instances": scale.num_instances,
+            "trace_duration_s": scale.trace_duration_s,
+            "drain_timeout_s": scale.drain_timeout_s,
+        },
+        "scenarios": names,
+        "policies": policy_keys,
+        "clients": client_tokens,
+        "retries": retry_names,
+        "backpressure": bp_names,
+        "router": SERVE_ROUTER,
+        "autoscaler": SERVE_AUTOSCALER,
+        "entries": entries,
+        "cache_hits": outcome.cache_hits,
+        "cache_misses": outcome.cache_misses,
+        "wall_s_total": wall_s_total,
+    }
+
+
+def write_results(document: Dict, path: Optional[Path] = None) -> Path:
+    """Write the document to ``SERVE_results.json`` (repo root by default)."""
+    target = Path(path) if path is not None else DEFAULT_OUTPUT
+    target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def format_results(document: Dict) -> str:
+    """Human-readable table of a serve sweep document."""
+    scale = document["scale"]
+    lines = [
+        f"repro {document['repro_version']} · scale {scale['name']} "
+        f"({scale['num_instances']} instances, {scale['trace_duration_s']:.0f}s trace) "
+        f"· seed {document['seed']} · {len(document['entries'])} cells "
+        f"in {document['wall_s_total']:.1f}s",
+        f"{'scenario':<16} {'clients':<7} {'retry':<8} {'bp':<3} "
+        f"{'offer':>5} {'subm':>5} {'fin':>5} {'shed':>5} {'rtry':>5} "
+        f"{'gvup':>5} {'goodput':>8} {'c_ttft50':>9} {'slo_att':>8}",
+    ]
+    for entry in document["entries"]:
+        ttft = entry["client_ttft_p50"]
+        lines.append(
+            f"{entry['scenario']:<16} {entry['clients']:<7} {entry['retry']:<8} "
+            f"{entry['backpressure']:<3} {entry['offered']:>5d} {entry['submitted']:>5d} "
+            f"{entry['finished']:>5d} {entry['shed']:>5d} {entry['retries']:>5d} "
+            f"{entry['gave_up']:>5d} {entry['goodput_per_submitted']:>8.3f} "
+            f"{ttft if ttft is None else format(ttft, '9.3f')!s:>9} "
+            f"{entry['slo_attainment']:>8.2f}"
+        )
+    return "\n".join(lines)

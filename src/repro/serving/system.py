@@ -76,6 +76,11 @@ class ClusterServingSystem:
 
         self.instances: List[ServingInstance] = self._build_instances()
         self.groups: List[ServingGroup] = []
+        #: called with each finished request, synchronously at completion —
+        #: the online serving frontend's closed-loop clients hang off this.
+        #: Populated before group construction: every group (including ones
+        #: the autoscaler creates later) fans out through the same list.
+        self.completion_listeners: List = []
         self.fleet: Optional[FleetController] = (
             FleetController(config.fleet, self) if config.fleet is not None else None
         )
@@ -170,6 +175,7 @@ class ClusterServingSystem:
             block_size=self.config.block_size,
         )
         self.groups.append(group)
+        group.finish_listeners.append(self._notify_finished)
         if self.fleet is not None:
             self.fleet.on_group_created(group)
         return group
@@ -205,6 +211,30 @@ class ClusterServingSystem:
         for request in requests:
             self.submit_at(request, request.arrival_time)
         return requests
+
+    # ------------------------------------------------------------------
+    # Completion / shed callbacks (online serving frontend)
+    # ------------------------------------------------------------------
+    def add_completion_listener(self, listener) -> None:
+        """Call ``listener(request)`` whenever any group finishes a request."""
+        self.completion_listeners.append(listener)
+
+    def add_shed_listener(self, listener) -> None:
+        """Call ``listener(request)`` whenever admission sheds a request.
+
+        Shedding is an admission-layer decision, so a fleet config is
+        required — a bare dispatcher accepts everything and would silently
+        never fire the callback.
+        """
+        if self.fleet is None:
+            raise ValueError(
+                "shed callbacks require an admission layer: set ServingConfig.fleet"
+            )
+        self.fleet.admission.shed_listeners.append(listener)
+
+    def _notify_finished(self, request: Request) -> None:
+        for listener in self.completion_listeners:
+            listener(request)
 
     def forget_request(self, request: Request) -> None:
         """Drop a request from this system's accounting entirely.
@@ -354,6 +384,50 @@ class ClusterServingSystem:
             summary=summary,
         )
         return result
+
+    def run_online(
+        self,
+        frontends: List,
+        *,
+        until: float,
+        workload_name: str = "online",
+    ) -> SimulationResult:
+        """Serve arrivals produced *live* by ``frontends`` until the horizon.
+
+        Unlike :meth:`run`, nothing is pre-scheduled: each frontend's
+        ``start()`` begins feeding the event loop (an
+        :class:`~repro.serve.gateway.OnlineGateway` keeps exactly one
+        arrival of lookahead; a closed-loop client population schedules
+        only its next issue), and further submissions happen as simulation
+        time advances.  ``submitted_requests`` therefore counts what was
+        actually submitted by the horizon, not a pre-materialised trace.
+        """
+        self.monitor.start()
+        if self.fleet is not None:
+            self.fleet.start()
+        self._arm_chaos(until)
+        if self.metrics_monitor is not None:
+            self.metrics_monitor.start()
+        for frontend in frontends:
+            frontend.start()
+        self.loop.run(until=until)
+        self.monitor.stop()
+        if self.fleet is not None:
+            self.fleet.stop()
+        if self.metrics_monitor is not None:
+            self.metrics_monitor.stop()
+        self._finalize_unfinished()
+        summary = self.metrics.summary()
+        return SimulationResult(
+            system_name=self.policy.name,
+            workload_name=workload_name,
+            metrics=self.metrics,
+            records=list(self.metrics.records),
+            duration_s=self.loop.now,
+            submitted_requests=self._submitted,
+            finished_requests=self.metrics.finished_count(),
+            summary=summary,
+        )
 
     def _finalize_unfinished(self) -> None:
         """Record requests that never finished so they count in the metrics."""

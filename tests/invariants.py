@@ -1,13 +1,13 @@
 """Reusable conservation invariants over sweep result documents.
 
-Every sweep document (fleet, multicluster, chaos) describes closed
-systems: requests that enter must be accounted for somewhere, and every
-WAN byte must be attributable to a transfer category.  These helpers
-assert that, property-style, over *every* entry of a document — tests
-import them instead of re-deriving the arithmetic per suite, so the
-accounting contract is stated exactly once.
+Every sweep document (fleet, multicluster, chaos, serve) describes
+closed systems: requests that enter must be accounted for somewhere, and
+every WAN byte must be attributable to a transfer category.  These
+helpers assert that, property-style, over *every* entry of a document —
+tests import them instead of re-deriving the arithmetic per suite, so
+the accounting contract is stated exactly once.
 
-The two invariants:
+The invariants:
 
 * **request conservation** — ``requests == finished + shed + lost + incomplete``
   with every term non-negative.  Entries name the terms differently per
@@ -16,6 +16,13 @@ The two invariants:
   derives the rest.
 * **KV-byte balance** — ``cross_cluster_bytes == dispatch_bytes +
   migration_bytes`` (chaos entries; other schemas don't split the bytes).
+* **serve attempt/intent conservation** — serve entries (detected by the
+  ``offered`` key) count two currencies: engine *attempts* and logical
+  client *intents*.  Both must balance: ``submitted == issued + retries``,
+  ``submitted == finished + shed + incomplete``, ``shed == retries +
+  retry_pending + gave_up`` (every shed attempt is either retried,
+  awaiting its retry at the horizon, or abandoned) and ``offered ==
+  finished + gave_up + client_incomplete``.
 """
 
 from __future__ import annotations
@@ -27,7 +34,16 @@ def entry_label(entry: Dict) -> str:
     """A short identity string for assertion messages."""
     parts = [
         str(entry.get(key))
-        for key in ("scenario", "policy", "router", "faults", "migration")
+        for key in (
+            "scenario",
+            "policy",
+            "router",
+            "faults",
+            "migration",
+            "clients",
+            "retry",
+            "backpressure",
+        )
         if key in entry
     ]
     return "/".join(parts) or "<entry>"
@@ -80,6 +96,67 @@ def assert_kv_bytes_balance(entry: Dict, rel_tol: float = 1e-9) -> None:
     )
 
 
+def assert_serve_conservation(entry: Dict) -> None:
+    """Every serve attempt and every client intent is accounted for.
+
+    Serve entries count two currencies.  Engine *attempts*: ``submitted
+    == issued + retries`` and ``submitted == finished + shed +
+    incomplete``.  Shed attempts: ``shed == retries + retry_pending +
+    gave_up`` — each shed is either retried (so ``retries >= sheds
+    retried`` holds with equality), scheduled for a retry that never
+    submitted before the horizon, or abandoned.  Logical client
+    *intents*: ``offered == finished + gave_up + client_incomplete``.
+    """
+    label = entry_label(entry)
+    terms = {
+        key: entry[key]
+        for key in (
+            "offered",
+            "issued",
+            "submitted",
+            "finished",
+            "shed",
+            "retries",
+            "retry_pending",
+            "gave_up",
+            "incomplete",
+            "client_incomplete",
+        )
+    }
+    for key, value in terms.items():
+        assert value >= 0, f"{label}: negative accounting term {key}={value}"
+    assert terms["submitted"] == terms["issued"] + terms["retries"], (
+        f"{label}: submitted={terms['submitted']} != issued={terms['issued']} "
+        f"+ retries={terms['retries']}"
+    )
+    assert terms["submitted"] == (
+        terms["finished"] + terms["shed"] + terms["incomplete"]
+    ), (
+        f"{label}: submitted={terms['submitted']} != finished={terms['finished']} "
+        f"+ shed={terms['shed']} + incomplete={terms['incomplete']}"
+    )
+    assert terms["shed"] == (
+        terms["retries"] + terms["retry_pending"] + terms["gave_up"]
+    ), (
+        f"{label}: shed={terms['shed']} != retries={terms['retries']} "
+        f"+ retry_pending={terms['retry_pending']} + gave_up={terms['gave_up']}"
+    )
+    assert terms["offered"] == (
+        terms["finished"] + terms["gave_up"] + terms["client_incomplete"]
+    ), (
+        f"{label}: offered={terms['offered']} != finished={terms['finished']} "
+        f"+ gave_up={terms['gave_up']} + client_incomplete={terms['client_incomplete']}"
+    )
+    if terms["submitted"]:
+        ratio = terms["finished"] / terms["submitted"]
+        assert entry["completion_ratio"] == ratio, (
+            f"{label}: completion_ratio inconsistent with finished/submitted"
+        )
+        assert entry["goodput_per_submitted"] == ratio, (
+            f"{label}: goodput_per_submitted inconsistent with finished/submitted"
+        )
+
+
 def assert_document_invariants(document: Dict) -> List[Dict]:
     """Apply every applicable invariant to every entry of a document.
 
@@ -88,7 +165,10 @@ def assert_document_invariants(document: Dict) -> List[Dict]:
     entries: Iterable[Dict] = document["entries"]
     checked = []
     for entry in entries:
-        assert_request_conservation(entry)
+        if "offered" in entry:
+            assert_serve_conservation(entry)
+        else:
+            assert_request_conservation(entry)
         if "cross_cluster_bytes" in entry:
             assert_kv_bytes_balance(entry)
         checked.append(entry)

@@ -90,6 +90,7 @@ class TestSchema:
             "fleet",
             "multicluster",
             "chaos",
+            "serve",
             "sweep_cache",
         }
 

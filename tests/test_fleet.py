@@ -523,6 +523,7 @@ class TestSchema:
             "policies",
             "routers",
             "autoscalers",
+            "faults",
             "entries",
             "wall_s_total",
         }
@@ -532,6 +533,8 @@ class TestSchema:
             "policy_name",
             "router",
             "autoscaler",
+            "faults",
+            "fault_events",
             "workload",
             "requests",
             "admitted",
@@ -640,6 +643,68 @@ class TestSweep:
             run_fleet_sweep(scale=TINY_SCALE, max_workers=0)
 
 
+class TestFaultsAxis:
+    GRID = dict(
+        scenarios=["steady-poisson"],
+        policies=["vllm"],
+        routers=["least_loaded"],
+        autoscalers=["fixed"],
+    )
+
+    def test_faults_axis_materialises_single_cluster_schedules(self):
+        document = run_fleet_sweep(
+            faults=["none", "instance-kill"],
+            scale=TINY_SCALE,
+            seed=2,
+            max_workers=1,
+            **self.GRID,
+        )
+        assert validate_document(document) == []
+        assert document["faults"] == ["none", "instance-kill"]
+        entries = assert_document_invariants(document)
+        by_faults = {entry["faults"]: entry for entry in entries}
+        assert by_faults["none"]["fault_events"] == 0
+        assert by_faults["instance-kill"]["fault_events"] == 1
+        # Same workload either way; the kill only changes what happens to it.
+        assert by_faults["none"]["requests"] == by_faults["instance-kill"]["requests"]
+        assert by_faults["instance-kill"]["finished"] > 0
+
+    def test_default_axis_is_the_no_fault_baseline(self):
+        document = run_fleet_sweep(scale=TINY_SCALE, seed=2, max_workers=1, **self.GRID)
+        assert document["faults"] == ["none"]
+        assert all(entry["faults"] == "none" for entry in document["entries"])
+        assert all(entry["fault_events"] == 0 for entry in document["entries"])
+
+    def test_tier_level_presets_are_rejected(self):
+        # cluster-outage / wan-degrade are valid chaos presets but a
+        # standalone fleet has no tier to inject them into.
+        with pytest.raises(KeyError):
+            run_fleet_sweep(faults=["cluster-outage"], scale=TINY_SCALE, **self.GRID)
+        with pytest.raises(KeyError):
+            run_fleet_sweep(faults=["nope"], scale=TINY_SCALE, **self.GRID)
+        with pytest.raises(ValueError):
+            run_fleet_sweep(faults=[], scale=TINY_SCALE, **self.GRID)
+
+    def test_fault_schedule_is_part_of_the_cache_key(self):
+        from repro.fleet.sweep import fleet_cell_task
+        from repro.scenarios.registry import get_scenario
+
+        spec = get_scenario("steady-poisson")
+        baseline = fleet_cell_task(spec, "vllm", "least_loaded", "fixed", TINY_SCALE, 2)
+        faulted = fleet_cell_task(
+            spec, "vllm", "least_loaded", "fixed", TINY_SCALE, 2, "instance-kill"
+        )
+        assert baseline.key["faults"] != faulted.key["faults"]
+        # churn is seed-dependent: a different seed is a different schedule.
+        churn_a = fleet_cell_task(
+            spec, "vllm", "least_loaded", "fixed", TINY_SCALE, 2, "churn"
+        )
+        churn_b = fleet_cell_task(
+            spec, "vllm", "least_loaded", "fixed", TINY_SCALE, 3, "churn"
+        )
+        assert churn_a.key["faults"] != churn_b.key["faults"]
+
+
 class TestCLI:
     def test_cli_runs_tiny_grid_and_writes_results(self, tmp_path, capsys):
         from repro.fleet.__main__ import main
@@ -667,8 +732,11 @@ class TestCLI:
         assert "power_of_two_choices" in capsys.readouterr().out
         assert main(["--list-autoscalers"]) == 0
         assert "elastic" in capsys.readouterr().out
+        assert main(["--list-faults"]) == 0
+        assert "instance-kill" in capsys.readouterr().out
 
     def test_cli_rejects_unknown_axis(self, capsys):
         from repro.fleet.__main__ import main
 
         assert main(["--routers", "nope", "--sequential"]) == 2
+        assert main(["--faults", "cluster-outage", "--sequential"]) == 2
