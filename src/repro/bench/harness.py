@@ -332,6 +332,56 @@ def _sweep_cache_benchmark(scale: ExperimentScale, seed: int) -> Dict[str, float
     }
 
 
+def _trace_overhead_benchmark(scale: ExperimentScale, seed: int) -> Dict[str, float]:
+    """Disabled-tracer overhead on the canonical serve cell.
+
+    Runs the same closed-loop serve cell with no tracer attached and with
+    a tracer attached but recording off (``trace="disabled"``) — the
+    configuration a deployment keeps around for opt-in tracing.  Each
+    variant is timed five times and the best (minimum) wall is kept —
+    the standard defence against scheduler noise on a shared box.  The
+    pairs are interleaved with alternating order and a full
+    ``gc.collect()`` before every timed run, so load drift and collector
+    debt accumulated by earlier bench rows hit both variants equally
+    instead of taxing whichever happens to run second.  The
+    additive ``untraced_wall_s`` / ``disabled_wall_s`` /
+    ``overhead_ratio`` fields pin the ISSUE acceptance bound
+    (disabled-tracer overhead within noise of 1.0x) in
+    ``BENCH_results.json`` so regressions show up in the trajectory.
+    """
+    import gc
+
+    from repro.serve.sweep import run_serve_cell
+
+    cell_scale = dataclasses.replace(scale, name=f"trace-overhead-{scale.name}")
+
+    def cell(trace) -> float:
+        gc.collect()
+        start = time.perf_counter()
+        run_serve_cell(
+            "spike-train", "vllm", "16", "backoff", "on", cell_scale, seed,
+            trace=trace,
+        )
+        return time.perf_counter() - start
+
+    cell(False)  # warm imports and caches so no timed run pays them
+    untraced_walls: List[float] = []
+    disabled_walls: List[float] = []
+    for round_index in range(5):
+        order = (False, "disabled") if round_index % 2 == 0 else ("disabled", False)
+        for trace in order:
+            (untraced_walls if trace is False else disabled_walls).append(cell(trace))
+    untraced_wall_s = min(untraced_walls)
+    disabled_wall_s = min(disabled_walls)
+    return {
+        "untraced_wall_s": untraced_wall_s,
+        "disabled_wall_s": disabled_wall_s,
+        "overhead_ratio": (
+            disabled_wall_s / untraced_wall_s if untraced_wall_s > 0 else 0.0
+        ),
+    }
+
+
 #: id -> runner; every runner accepts the scale unless marked analytic.
 EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "figure2": lambda scale, seed: figure2.run_figure2(scale, seed=seed),
@@ -355,11 +405,12 @@ EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "chaos": _chaos_sweep_benchmark,
     "serve": _serve_sweep_benchmark,
     "sweep_cache": _sweep_cache_benchmark,
+    "trace_overhead": _trace_overhead_benchmark,
 }
 
 #: Experiment ids whose runner's return value is a dict of additive entry
 #: fields (everything else returns a document the meter ignores).
-EXTRA_FIELD_RUNNERS = frozenset({"sweep_cache"})
+EXTRA_FIELD_RUNNERS = frozenset({"sweep_cache", "trace_overhead"})
 
 
 def run_experiment_benchmark(
@@ -515,5 +566,11 @@ def format_results(document: Dict) -> str:
             lines.append(
                 f"{'':<18} {'':<12} cold {entry['cold_wall_s']:.2f}s -> warm "
                 f"{entry['warm_wall_s']:.2f}s ({entry['cache_speedup']:.0f}x)"
+            )
+        if entry["experiment"] == "trace_overhead" and "overhead_ratio" in entry:
+            lines.append(
+                f"{'':<18} {'':<12} untraced {entry['untraced_wall_s']:.2f}s vs "
+                f"disabled tracer {entry['disabled_wall_s']:.2f}s "
+                f"({entry['overhead_ratio']:.3f}x)"
             )
     return "\n".join(lines)

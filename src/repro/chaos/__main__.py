@@ -102,6 +102,13 @@ def main(argv=None) -> int:
         help="additionally replay the first grid cell inline, streaming live "
         "Prometheus text scrapes to FILE",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach a tier-wide per-request span tracer to every cell and add "
+        "a stage_breakdown block (per-stage latency attribution) to each entry; "
+        "with --metrics-out, also streams the stage-duration histogram",
+    )
     add_cache_arguments(parser)
     parser.add_argument(
         "--list-faults",
@@ -153,6 +160,7 @@ def main(argv=None) -> int:
             max_workers=max_workers,
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            trace=args.trace,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -178,6 +186,7 @@ def main(argv=None) -> int:
             CHAOS_SCALES[args.scale],
             args.seed,
             Path(args.metrics_out),
+            trace=args.trace,
         )
         print(f"streamed {scrapes} metric scrapes to {args.metrics_out}")
     print(f"\nwrote {path}")

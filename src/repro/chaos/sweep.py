@@ -136,6 +136,9 @@ class ChaosCellResult:
     tier_stats: Dict[str, float]
     latencies: Tuple[Tuple[Optional[float], Optional[float]], ...]
     wall_s: float
+    #: per-stage latency attribution (``--trace`` cells only; ``None``
+    #: when the cell ran untraced or with a disabled tracer).
+    stage_breakdown: Optional[Dict[str, Any]] = None
 
 
 def run_chaos_cell(
@@ -145,9 +148,17 @@ def run_chaos_cell(
     migration: str,
     scale: ExperimentScale,
     seed: int = 42,
+    trace: Union[bool, str] = False,
+    on_tracer=None,
 ) -> ChaosCellResult:
     """Run one scenario through one (policy, faults, migration)
-    combination; the in-process cell primitive."""
+    combination; the in-process cell primitive.
+
+    ``trace=True`` attaches a tier-wide :class:`repro.trace.Tracer` and
+    fills the result's ``stage_breakdown``; ``trace="disabled"`` attaches
+    it with recording off.  ``on_tracer`` receives the tracer right after
+    it attaches, so callers can keep a handle for span export.
+    """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     schedule = cell_schedule(faults, scale, seed)
     config = build_cell_config(spec, scale, seed=seed)
@@ -159,8 +170,14 @@ def run_chaos_cell(
         session_migration=migration,
     )
     config.chaos = schedule if schedule else None
-    run = run_tier(spec, policy_key, config, scale, seed)
+    run = run_tier(spec, policy_key, config, scale, seed, trace=trace, on_tracer=on_tracer)
     result = run.result
+    stage_breakdown = None
+    tracer = run.system.tracer
+    if tracer is not None and tracer.enabled:
+        from repro.trace import LatencyAttribution
+
+        stage_breakdown = LatencyAttribution.from_tracer(tracer).stage_breakdown()
     return ChaosCellResult(
         scenario=spec.name,
         policy=policy_key,
@@ -180,6 +197,7 @@ def run_chaos_cell(
         tier_stats=run.system.stats(),
         latencies=tuple((r.ttft, r.mean_tpot) for r in result.records),
         wall_s=run.wall_s,
+        stage_breakdown=stage_breakdown,
     )
 
 
@@ -191,6 +209,7 @@ def stream_cell_metrics(
     scale: ExperimentScale,
     seed: int,
     path: Path,
+    trace: bool = False,
 ) -> int:
     """Replay one cell inline with a live Prometheus metrics stream.
 
@@ -198,7 +217,9 @@ def stream_cell_metrics(
     :class:`repro.metrics.MetricsMonitor` attached and streaming text
     scrapes to ``path``; returns the number of scrapes written.  This is
     what ``python -m repro.chaos --metrics-out`` runs (uncached — the
-    stream is the point, not the result document).
+    stream is the point, not the result document).  With ``trace=True``
+    a tier-wide span tracer attaches and the stream additionally carries
+    the ``repro_stage_duration_seconds`` histogram.
     """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     schedule = cell_schedule(faults, scale, seed)
@@ -215,6 +236,10 @@ def stream_cell_metrics(
     workload = spec.build_workload(workload_scale, seed)
     system = MultiClusterSystem(config, lambda: make_policy(policy_key))
     monitor = system.attach_metrics(path=path)
+    if trace:
+        from repro.metrics import trace_metrics_source
+
+        monitor.add_source(trace_metrics_source(system.attach_tracer()))
     system.run(workload)
     return monitor.scrapes
 
@@ -231,6 +256,7 @@ def run_chaos_cell_payload(params: Mapping[str, Any], seed: int) -> Dict[str, An
         params["migration"],
         params["scale"],
         seed,
+        trace=params.get("trace", False),
     )
     return dataclasses.asdict(cell)
 
@@ -242,6 +268,7 @@ def chaos_cell_task(
     migration: str,
     scale: ExperimentScale,
     seed: int,
+    trace: bool = False,
 ) -> SweepTask:
     """Describe one chaos grid cell as a cacheable sweep task."""
     mc = make_multicluster_config(
@@ -252,33 +279,40 @@ def chaos_cell_task(
         session_migration=migration,
     )
     schedule = cell_schedule(faults, scale, seed)
+    params: Dict[str, Any] = {
+        "scenario": spec,
+        "policy": policy,
+        "faults": faults,
+        "migration": migration,
+        "scale": scale,
+    }
+    key: Dict[str, Any] = {
+        "kind": "chaos-cell",
+        "schema_version": SCHEMA_VERSION,
+        "scenario": spec_fingerprint(spec),
+        "policy": policy,
+        # The materialised schedule, not just the preset name: a
+        # retimed or resampled preset must invalidate cached cells.
+        "schedule": schedule_fingerprint(schedule),
+        "multicluster": {
+            **{
+                k: v
+                for k, v in dataclasses.asdict(mc).items()
+                if k != "admission"
+            },
+            "admission": dataclasses.asdict(mc.admission),
+        },
+        "scale": dataclasses.asdict(scale),
+    }
+    if trace:
+        # Only traced cells key on the axis: untraced cache entries stay
+        # valid (and bit-identical) whether or not tracing exists.
+        params["trace"] = True
+        key["trace"] = True
     return SweepTask(
         runner="repro.chaos.sweep:run_chaos_cell_payload",
-        params={
-            "scenario": spec,
-            "policy": policy,
-            "faults": faults,
-            "migration": migration,
-            "scale": scale,
-        },
-        key={
-            "kind": "chaos-cell",
-            "schema_version": SCHEMA_VERSION,
-            "scenario": spec_fingerprint(spec),
-            "policy": policy,
-            # The materialised schedule, not just the preset name: a
-            # retimed or resampled preset must invalidate cached cells.
-            "schedule": schedule_fingerprint(schedule),
-            "multicluster": {
-                **{
-                    k: v
-                    for k, v in dataclasses.asdict(mc).items()
-                    if k != "admission"
-                },
-                "admission": dataclasses.asdict(mc.admission),
-            },
-            "scale": dataclasses.asdict(scale),
-        },
+        params=params,
+        key=key,
         seed=seed,
         label=f"{spec.name}/{policy}/{faults}/{migration}",
     )
@@ -359,6 +393,8 @@ def _scenario_entries(
                 "wall_s": cell["wall_s"],
             }
         )
+        if cell.get("stage_breakdown"):
+            entries[-1]["stage_breakdown"] = cell["stage_breakdown"]
     return entries
 
 
@@ -373,6 +409,7 @@ def run_chaos_sweep(
     max_workers: Optional[int] = None,
     use_cache: bool = False,
     cache_dir: Optional[Path] = None,
+    trace: bool = False,
 ) -> Dict:
     """Sweep the scenario × policy × faults × migration grid.
 
@@ -395,6 +432,9 @@ def run_chaos_sweep(
             Python API defaults to off).
         cache_dir: cache location override (default ``.repro_cache/`` at
             the repository root, or ``$REPRO_CACHE_DIR``).
+        trace: attach a per-request span tracer to every cell and add a
+            ``stage_breakdown`` block (per-stage latency attribution) to
+            each entry.  Traced cells cache under a distinct key.
     """
     names = list(scenarios) if scenarios is not None else list(DEFAULT_SCENARIOS)
     policy_keys = list(policies) if policies is not None else list(DEFAULT_POLICIES)
@@ -422,7 +462,7 @@ def run_chaos_sweep(
         raise ValueError("max_workers must be >= 1")
     specs = [get_scenario(name) for name in names]
     tasks = [
-        chaos_cell_task(spec, policy, fault, migration, scale, seed)
+        chaos_cell_task(spec, policy, fault, migration, scale, seed, trace=trace)
         for spec in specs
         for policy in policy_keys
         for fault in fault_names
@@ -458,6 +498,7 @@ def run_chaos_sweep(
         "clusters": CHAOS_CLUSTER_COUNT,
         "router": CHAOS_ROUTER,
         "placement": CHAOS_PLACEMENT,
+        "trace": bool(trace),
         "entries": entries,
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,

@@ -173,6 +173,8 @@ class NetworkFabric:
         #: one per transfer avoids O(active) heap churn on every rate change
         #: (the coordinated KV exchange keeps hundreds of transfers live).
         self._next_completion: Optional[Event] = None
+        #: per-request span recorder (``repro.trace``); ``None`` when off.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -371,5 +373,7 @@ class NetworkFabric:
         transfer.remaining_bytes = 0.0
         transfer.completed_at = self._loop.now
         self.completed_transfers.append(transfer)
+        if self.tracer is not None:
+            self.tracer.on_transfer(transfer)
         if transfer.on_complete is not None:
             transfer.on_complete(transfer)

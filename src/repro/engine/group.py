@@ -118,6 +118,10 @@ class ServingGroup:
         self.iteration_listeners: List[Callable[["ServingGroup", IterationBatch, float], None]] = []
         #: observers notified when a request finishes ``(request)``.
         self.finish_listeners: List[Callable[[Request], None]] = []
+        #: per-request span recorder (``repro.trace``); ``None`` keeps the
+        #: hot path at a single pointer comparison per hook site.
+        self.tracer = None
+        self.trace_track = f"engine/group{group_id}"
 
     # ------------------------------------------------------------------
     # Topology / assignment
@@ -191,6 +195,8 @@ class ServingGroup:
     def enqueue(self, request: Request) -> None:
         """Accept a newly-dispatched request."""
         request.owner_group = self.group_id
+        if self.tracer is not None:
+            self.tracer.on_enqueued(request, self.group_id)
         self.scheduler.add_request(request)
         self.kick()
 
@@ -352,6 +358,8 @@ class ServingGroup:
         )
         for listener in self.iteration_listeners:
             listener(self, batch, now)
+        if self.tracer is not None:
+            self.tracer.on_iteration(self, batch, start, now)
         self._busy = False
         if self.active:
             self._run_iteration()
@@ -427,9 +435,15 @@ class ServingGroup:
         size = tokens * self._kv_token_bytes
         src_node = self.instances[0].nic_node()
         dst_node = destination.instances[0].nic_node()
+        if self.tracer is not None:
+            self.tracer.on_migration_start(
+                request, self.trace_track, destination.trace_track
+            )
         if src_node == dst_node:
             # Same server: treat as an instantaneous device-to-device copy.
             request.state = RequestState.RUNNING
+            if self.tracer is not None:
+                self.tracer.on_migration_end(request)
             destination.kick()
             return True
         eta = self.fabric.estimate_transfer_time(src_node, dst_node, size, exclusive=False)
@@ -445,6 +459,8 @@ class ServingGroup:
         return True
 
     def _finish_migration(self, request: Request, destination: "ServingGroup", _t: Transfer) -> None:
+        if self.tracer is not None:
+            self.tracer.on_migration_end(request)
         if not request.finished:
             request.state = RequestState.RUNNING
             request.stall_until = min(request.stall_until, self.loop.now)

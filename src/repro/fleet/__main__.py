@@ -27,6 +27,7 @@ from repro.fleet.sweep import (
     format_results,
     list_fleet_fault_presets,
     run_fleet_sweep,
+    stream_cell_metrics,
     write_results,
 )
 from repro.policies import make_policy
@@ -99,6 +100,13 @@ def main(argv=None) -> int:
         "--output",
         default=None,
         help="where to write FLEET_results.json (default: repository root)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="additionally replay the first grid cell inline, streaming live "
+        "Prometheus text scrapes to FILE",
     )
     add_cache_arguments(parser)
     parser.add_argument(
@@ -174,6 +182,24 @@ def main(argv=None) -> int:
     print(format_results(document))
     if args.cache_stats:
         print_cache_stats(document, args)
+    if args.metrics_out:
+        from pathlib import Path
+
+        scrapes = stream_cell_metrics(
+            (args.scenarios or list(DEFAULT_SCENARIOS))[0],
+            (args.policies or list(DEFAULT_POLICIES))[0],
+            (args.routers if args.routers is not None else list_routers())[0],
+            (
+                args.autoscalers
+                if args.autoscalers is not None
+                else list_autoscaler_presets()
+            )[0],
+            FLEET_SCALES[args.scale],
+            args.seed,
+            Path(args.metrics_out),
+            faults=(args.faults if args.faults is not None else list(DEFAULT_FAULTS))[0],
+        )
+        print(f"streamed {scrapes} metric scrapes to {args.metrics_out}")
     print(f"\nwrote {path}")
     return 0
 

@@ -60,6 +60,8 @@ class AdmissionController:
         #: called with each shed request, synchronously at the shed decision
         #: — the online serving frontend's clients key retries off this.
         self.shed_listeners: List[Callable[[Request], None]] = []
+        #: per-request span recorder (``repro.trace``); ``None`` when off.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -198,7 +200,12 @@ class AdmissionController:
         candidates = [g for g in self._groups_provider() if self._accepting(g)]
         if not candidates:
             return None
-        return self.router.route(request, candidates)
+        group = self.router.route(request, candidates)
+        if group is not None and self.tracer is not None:
+            self.tracer.on_route(
+                request, f"group{group.group_id}", scope=self.router.name
+            )
+        return group
 
     def _dispatch(self, request: Request, group: ServingGroup) -> None:
         group.enqueue(request)
@@ -211,5 +218,7 @@ class AdmissionController:
     def _shed(self, request: Request) -> None:
         self.shed += 1
         self.shed_requests.append(request)
+        if self.tracer is not None:
+            self.tracer.on_shed(request)
         for listener in self.shed_listeners:
             listener(request)

@@ -187,6 +187,39 @@ def run_fleet_cell(
     )
 
 
+def stream_cell_metrics(
+    scenario: Union[str, ScenarioSpec],
+    policy_key: str,
+    router: str,
+    autoscaler: str,
+    scale: ExperimentScale,
+    seed: int,
+    path,
+    faults: str = "none",
+) -> int:
+    """Replay one cell inline with a live Prometheus metrics stream.
+
+    Same construction as :func:`run_fleet_cell`, but with a
+    :class:`repro.metrics.MetricsMonitor` attached, streaming text
+    scrapes (queue depth, active/spare instances, shed counters) to
+    ``path``; returns the number of scrapes written.  This is what
+    ``python -m repro.fleet --metrics-out`` runs (uncached — the stream
+    is the point, not the result document).
+    """
+    spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
+    workload = spec.build_workload(scale, seed)
+    config = build_cell_config(spec, scale, seed=seed)
+    config.fleet = make_fleet_config(
+        router=router, autoscaler=autoscaler, admission=SWEEP_ADMISSION
+    )
+    schedule = fleet_fault_schedule(faults, scale, seed)
+    config.chaos = schedule if schedule else None
+    system = ClusterServingSystem(config, make_policy(policy_key))
+    monitor = system.attach_metrics(path=path)
+    system.run(workload)
+    return monitor.scrapes
+
+
 # ----------------------------------------------------------------------
 # Sweep-engine adapter
 # ----------------------------------------------------------------------

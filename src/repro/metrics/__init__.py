@@ -1,17 +1,21 @@
 """Live observability for simulation runs: Prometheus-style metrics.
 
-:mod:`repro.metrics.prometheus` implements a minimal registry (counter +
-gauge families) with deterministic text exposition;
+:mod:`repro.metrics.prometheus` implements a minimal registry (counter,
+gauge and histogram families) with deterministic text exposition;
 :mod:`repro.metrics.monitor` streams scrapes of it from the event loop to
 a file or callback while a run executes; :mod:`repro.metrics.sources`
 holds the canonical samplers for the serving systems.  Attach one with
 ``system.attach_metrics(path=...)`` before ``run()``.
+:mod:`repro.metrics.plot` (``python -m repro.metrics.plot``) renders a
+recorded scrape stream back into per-series time series.
 """
 
 from repro.metrics.monitor import MetricsMonitor
 from repro.metrics.prometheus import (
+    DEFAULT_BUCKETS,
     CounterFamily,
     GaugeFamily,
+    HistogramFamily,
     MetricFamily,
     MetricsRegistry,
     escape_label_value,
@@ -21,6 +25,7 @@ from repro.metrics.sources import (
     client_metrics_source,
     fleet_metrics_source,
     tier_metrics_source,
+    trace_metrics_source,
 )
 
 __all__ = [
@@ -29,9 +34,12 @@ __all__ = [
     "MetricFamily",
     "CounterFamily",
     "GaugeFamily",
+    "HistogramFamily",
+    "DEFAULT_BUCKETS",
     "escape_label_value",
     "format_value",
     "client_metrics_source",
     "fleet_metrics_source",
     "tier_metrics_source",
+    "trace_metrics_source",
 ]

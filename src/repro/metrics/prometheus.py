@@ -130,6 +130,80 @@ class GaugeFamily(MetricFamily):
         self._samples[_label_key(labels)] = float(value)
 
 
+#: Default histogram buckets (seconds) — the Prometheus client defaults,
+#: which bracket the latency range the simulator produces (sub-ms prefill
+#: chunks up to multi-second queueing waits).
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class HistogramFamily(MetricFamily):
+    """A cumulative-bucket histogram (``_bucket``/``_sum``/``_count``).
+
+    Buckets are cumulative per the exposition format: every observation
+    lands in all buckets whose upper bound is >= the value, plus the
+    implicit ``+Inf`` bucket.  Rendering is deterministic — sorted label
+    sets, fixed bucket order — so scrape streams diff cleanly across
+    deterministic runs.  The base-class ``_samples`` mirror holds the
+    observation count per label set, so ``snapshot()`` and ``value()``
+    keep working (they see the count).
+    """
+
+    metric_type = "histogram"
+
+    def __init__(self, name: str, help_text: str, buckets=None) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} buckets must be strictly increasing"
+            )
+        self.buckets = bounds
+        #: per label set: cumulative count per finite bucket bound.
+        self._bucket_counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into a labelled series."""
+        key = _label_key(labels)
+        counts = self._bucket_counts.get(key)
+        if counts is None:
+            counts = self._bucket_counts[key] = [0] * len(self.buckets)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + float(value)
+        self._samples[key] = self._samples.get(key, 0.0) + 1.0
+
+    def render(self, timestamp_ms: Optional[int] = None) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.metric_type}",
+        ]
+        suffix = f" {timestamp_ms}" if timestamp_ms is not None else ""
+
+        def series(base: str, key: LabelKey, extra: Optional[str] = None) -> str:
+            parts = [
+                f'{name}="{escape_label_value(value)}"' for name, value in key
+            ]
+            if extra is not None:
+                parts.append(extra)
+            return f"{base}{{{','.join(parts)}}}" if parts else base
+
+        for key in sorted(self._bucket_counts):
+            counts = self._bucket_counts[key]
+            for bound, count in zip(self.buckets, counts):
+                le = 'le="%s"' % format_value(bound)
+                bucket = series(self.name + "_bucket", key, le)
+                lines.append(f"{bucket} {count}{suffix}")
+            total = int(self._samples.get(key, 0.0))
+            inf_bucket = series(self.name + "_bucket", key, 'le="+Inf"')
+            lines.append(f"{inf_bucket} {total}{suffix}")
+            total_sum = format_value(self._sums.get(key, 0.0))
+            lines.append(f"{series(self.name + '_sum', key)} {total_sum}{suffix}")
+            lines.append(f"{series(self.name + '_count', key)} {total}{suffix}")
+        return lines
+
+
 class MetricsRegistry:
     """An ordered collection of metric families with one exposition view."""
 
@@ -143,6 +217,21 @@ class MetricsRegistry:
     def gauge(self, name: str, help_text: str = "") -> GaugeFamily:
         """Get or create a gauge family; a counter of the same name errors."""
         return self._family(GaugeFamily, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "", buckets=None) -> HistogramFamily:
+        """Get or create a histogram family; other types of the name error.
+
+        ``buckets`` only applies on first creation; later calls return the
+        existing family unchanged (bucket layout is part of its identity).
+        """
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = HistogramFamily(name, help_text, buckets)
+        elif not isinstance(family, HistogramFamily):
+            raise ValueError(
+                f"metric {name!r} already registered as {family.metric_type}"
+            )
+        return family
 
     def _family(self, cls, name: str, help_text: str) -> MetricFamily:
         family = self._families.get(name)

@@ -94,6 +94,34 @@ def client_metrics_source(population, frontend: str = "clients"):
     return sample
 
 
+def trace_metrics_source(tracer, buckets=None):
+    """Sampler streaming per-stage latency histograms off a live tracer.
+
+    Every scrape drains the stage spans the tracer closed since the last
+    one into a ``repro_stage_duration_seconds`` histogram labelled by
+    stage, so ``--metrics-out`` streams cumulative stage-latency
+    distributions (``_bucket``/``_sum``/``_count``) as the run progresses.
+    A cursor over :attr:`~repro.trace.Tracer.closed_stage_spans` keeps the
+    sampler O(new spans) per scrape.
+    """
+    cursor = [0]
+
+    def sample(registry: MetricsRegistry, now: float) -> None:
+        family = registry.histogram(
+            "repro_stage_duration_seconds",
+            "Per-request stage durations from the span tracer",
+            buckets=buckets,
+        )
+        spans = tracer.closed_stage_spans
+        for span in spans[cursor[0]:]:
+            duration = span.duration_s
+            if duration is not None:
+                family.observe(duration, stage=span.name)
+        cursor[0] = len(spans)
+
+    return sample
+
+
 def tier_metrics_source(tier):
     """Sampler for a :class:`~repro.multicluster.system.MultiClusterSystem`.
 

@@ -24,6 +24,7 @@ from repro.multicluster.sweep import (
     MULTICLUSTER_SCALES,
     format_results,
     run_multicluster_sweep,
+    stream_cell_metrics,
     write_results,
 )
 from repro.policies import make_policy
@@ -99,6 +100,13 @@ def main(argv=None) -> int:
         default=None,
         help="where to write MULTICLUSTER_results.json (default: repository root)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="additionally replay the first grid cell inline, streaming live "
+        "Prometheus text scrapes (per-shard + tier series) to FILE",
+    )
     add_cache_arguments(parser)
     parser.add_argument(
         "--list-routers",
@@ -168,6 +176,24 @@ def main(argv=None) -> int:
     print(format_results(document))
     if args.cache_stats:
         print_cache_stats(document, args)
+    if args.metrics_out:
+        from pathlib import Path
+
+        scrapes = stream_cell_metrics(
+            (args.scenarios or list(DEFAULT_SCENARIOS))[0],
+            (args.policies or list(DEFAULT_POLICIES))[0],
+            (
+                args.cluster_counts
+                if args.cluster_counts is not None
+                else list(DEFAULT_CLUSTER_COUNTS)
+            )[0],
+            (args.routers if args.routers is not None else list_global_routers())[0],
+            (args.placements if args.placements is not None else list_placements())[0],
+            MULTICLUSTER_SCALES[args.scale],
+            args.seed,
+            Path(args.metrics_out),
+        )
+        print(f"streamed {scrapes} metric scrapes to {args.metrics_out}")
     print(f"\nwrote {path}")
     return 0
 

@@ -146,16 +146,25 @@ def run_tier(
     config,
     scale: ExperimentScale,
     seed: int,
+    trace: Union[bool, str] = False,
+    on_tracer=None,
 ) -> TierRun:
     """Build the tier's workload, run ``config`` through it, and time it.
 
     ``config`` must carry a ``multicluster`` section; the workload is
-    sized by :func:`tier_workload_scale`.
+    sized by :func:`tier_workload_scale`.  ``trace=True`` attaches one
+    shared :class:`repro.trace.Tracer` across the tier and its shards
+    (``trace="disabled"`` attaches it with recording off); ``on_tracer``
+    receives the tracer right after it attaches.
     """
     workload_scale = tier_workload_scale(scale, config.multicluster.num_clusters)
     workload = spec.build_workload(workload_scale, seed)
     start = time.perf_counter()
     system = MultiClusterSystem(config, lambda: make_policy(policy_key))
+    if trace:
+        tracer = system.attach_tracer(enabled=(trace != "disabled"))
+        if on_tracer is not None:
+            on_tracer(tracer)
     initial_groups = system.initial_group_count()
     result = system.run(workload)
     wall_s = time.perf_counter() - start
@@ -206,6 +215,41 @@ def run_multicluster_cell(
         latencies=tuple((r.ttft, r.mean_tpot) for r in result.records),
         wall_s=run.wall_s,
     )
+
+
+def stream_cell_metrics(
+    scenario: Union[str, ScenarioSpec],
+    policy_key: str,
+    cluster_count: int,
+    router: str,
+    placement: str,
+    scale: ExperimentScale,
+    seed: int,
+    path,
+) -> int:
+    """Replay one cell inline with a live Prometheus metrics stream.
+
+    Same construction as :func:`run_multicluster_cell`, but with a
+    :class:`repro.metrics.MetricsMonitor` attached, streaming per-shard
+    fleet gauges plus the tier-level counters (WAN bytes, faults, alive
+    shards) to ``path``; returns the number of scrapes written.  This is
+    what ``python -m repro.multicluster --metrics-out`` runs (uncached —
+    the stream is the point, not the result document).
+    """
+    spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
+    config = build_cell_config(spec, scale, seed=seed)
+    config.multicluster = make_multicluster_config(
+        num_clusters=cluster_count,
+        global_router=router,
+        placement=placement,
+        admission=SWEEP_ADMISSION,
+    )
+    workload_scale = tier_workload_scale(scale, cluster_count)
+    workload = spec.build_workload(workload_scale, seed)
+    system = MultiClusterSystem(config, lambda: make_policy(policy_key))
+    monitor = system.attach_metrics(path=path)
+    system.run(workload)
+    return monitor.scrapes
 
 
 # ----------------------------------------------------------------------

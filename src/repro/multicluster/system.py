@@ -223,6 +223,8 @@ class MultiClusterSystem:
         self.chaos = None
         #: optional live-metrics stream (see :meth:`attach_metrics`).
         self.metrics_monitor = None
+        #: per-request span recorder (``repro.trace``); ``None`` when off.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -247,6 +249,8 @@ class MultiClusterSystem:
     def submit(self, request: Request) -> None:
         """Route an arriving request to a cluster (now, or after the WAN)."""
         self._all_requests.append(request)
+        if self.tracer is not None:
+            self.tracer.on_submit(request)
         self._route(request)
 
     def _route(self, request: Request) -> None:
@@ -268,11 +272,19 @@ class MultiClusterSystem:
                 # context transfer (sourced from the home site's durable
                 # session store).
                 target = self.router.route(request, alive)
+                if self.tracer is not None:
+                    self.tracer.on_route(
+                        request, f"cluster{target.index}", scope=self.router.name
+                    )
                 size = float(request.prompt_tokens * self._kv_token_bytes)
                 self.dispatch_bytes += size
                 self._wan_submit(request, home, target, size)
             return
         target = self.router.route(request, alive)
+        if self.tracer is not None:
+            self.tracer.on_route(
+                request, f"cluster{target.index}", scope=self.router.name
+            )
         if target.index == home:
             self.local_routed += 1
             target.system.submit(request)
@@ -325,6 +337,10 @@ class MultiClusterSystem:
         tag: str = "kv",
     ) -> None:
         self._in_flight[request.request_id] = request
+        if self.tracer is not None:
+            self.tracer.on_wan_start(
+                request, f"cluster{source}", f"cluster{target.index}"
+            )
         self.fabric.transfer(
             source,
             target.index,
@@ -335,6 +351,8 @@ class MultiClusterSystem:
 
     def _deliver(self, request: Request, handle: ClusterHandle) -> None:
         self._in_flight.pop(request.request_id, None)
+        if self.tracer is not None:
+            self.tracer.on_wan_end(request)
         if not handle.alive:
             # The destination died while the context was crossing the WAN.
             if self.mc.session_migration == "migrate" and self.alive_handles:
@@ -347,6 +365,8 @@ class MultiClusterSystem:
     def _lose(self, request: Request) -> None:
         self.lost_to_fault += 1
         self._lost_requests.append(request)
+        if self.tracer is not None:
+            self.tracer.on_lost(request)
 
     def submit_at(self, request: Request, time: float) -> None:
         """Schedule a request arrival at absolute simulation time ``time``."""
@@ -532,6 +552,25 @@ class MultiClusterSystem:
         monitor.add_source(tier_metrics_source(self))
         self.metrics_monitor = monitor
         return monitor
+
+    def attach_tracer(self, tracer=None, *, enabled: bool = True):
+        """Install one shared per-request :class:`repro.trace.Tracer`.
+
+        The tier and every cluster shard record into the same tracer, so a
+        request's WAN hop, admission wait and execution all land in one
+        span tree.  Shard tracks are namespaced ``cluster{i}/group{g}``.
+        """
+        from repro.trace import Tracer
+
+        if tracer is None:
+            tracer = Tracer(self.loop, enabled=enabled)
+        self.tracer = tracer
+        if tracer.enabled:
+            self.fabric.network.tracer = tracer
+        for handle in self.handles:
+            handle.system._trace_cluster = str(handle.index)
+            handle.system.attach_tracer(tracer)
+        return tracer
 
     # ------------------------------------------------------------------
     # Placement tick

@@ -112,6 +112,20 @@ def main(argv=None) -> int:
         help="additionally replay the last grid cell inline, streaming live "
         "Prometheus text scrapes (fleet + client series) to FILE",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach a per-request span tracer to every cell and add a "
+        "stage_breakdown block (per-stage latency attribution) to each entry; "
+        "with --metrics-out, also streams the stage-duration histogram",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="additionally replay the last grid cell inline with tracing on "
+        "and write its Chrome trace-event JSON (Perfetto-loadable) to FILE",
+    )
     add_cache_arguments(parser)
     parser.add_argument(
         "--list-retries",
@@ -169,6 +183,7 @@ def main(argv=None) -> int:
             max_workers=max_workers,
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            trace=args.trace,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -181,7 +196,7 @@ def main(argv=None) -> int:
     print(format_results(document))
     if args.cache_stats:
         print_cache_stats(document, args)
-    if args.metrics_out:
+    if args.metrics_out or args.trace_out:
         # The *last* grid cell: with the default axes that is a closed-loop
         # cell, so the stream includes the client-side series.
         scenario, policy, clients, retry, backpressure = serve_grid(
@@ -195,17 +210,38 @@ def main(argv=None) -> int:
                 else list(DEFAULT_BACKPRESSURE)
             ),
         )[-1]
-        scrapes = stream_cell_metrics(
-            scenario,
-            policy,
-            clients,
-            retry,
-            backpressure,
-            SERVE_SCALES[args.scale],
-            args.seed,
-            Path(args.metrics_out),
-        )
-        print(f"streamed {scrapes} metric scrapes to {args.metrics_out}")
+        if args.metrics_out:
+            scrapes = stream_cell_metrics(
+                scenario,
+                policy,
+                clients,
+                retry,
+                backpressure,
+                SERVE_SCALES[args.scale],
+                args.seed,
+                Path(args.metrics_out),
+                trace=args.trace,
+            )
+            print(f"streamed {scrapes} metric scrapes to {args.metrics_out}")
+        if args.trace_out:
+            from repro.serve.sweep import run_serve_cell
+            from repro.trace import write_chrome_trace
+
+            tracers = []
+            run_serve_cell(
+                scenario,
+                policy,
+                clients,
+                retry,
+                backpressure,
+                SERVE_SCALES[args.scale],
+                args.seed,
+                trace=True,
+                on_tracer=tracers.append,
+            )
+            spans = tracers[0].spans()
+            write_chrome_trace(spans, Path(args.trace_out))
+            print(f"wrote Chrome trace ({len(spans)} spans) to {args.trace_out}")
     print(f"\nwrote {path}")
     return 0
 

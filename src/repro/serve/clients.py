@@ -277,6 +277,8 @@ class ClosedLoopPopulation:
         policy = self.config.retry
         if client.attempts < policy.max_attempts:
             delay = policy.delay_s(client.attempts, client.rng) * self._pressure_factor()
+            if self.system.tracer is not None:
+                self.system.tracer.on_retry_backoff(request, delay)
             self.retry_pending += 1
             self._schedule_issue(client, delay)
         else:

@@ -73,6 +73,8 @@ class OnlineGateway:
             slo_class=arrival.slo_class,
             session_id=arrival.session_id,
         )
+        if self.system.tracer is not None:
+            self.system.tracer.on_gateway(request)
         self.system.submit_at(request, at)
         # Same timestamp, scheduled after submit_at: the loop's stable FIFO
         # order guarantees the submission happens before the next pull.

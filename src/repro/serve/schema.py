@@ -119,7 +119,10 @@ DOCUMENT_KEYS = (
 
 #: Additive schema-v1 keys: emitted by current sweeps but not required by
 #: the validator, so documents written before they existed stay valid.
-OPTIONAL_DOCUMENT_KEYS = ("cache_hits", "cache_misses")
+#: ``trace`` records whether the sweep ran with ``--trace``; traced
+#: entries additionally carry an optional ``stage_breakdown`` block (the
+#: per-stage latency attribution from :mod:`repro.trace`).
+OPTIONAL_DOCUMENT_KEYS = ("cache_hits", "cache_misses", "trace")
 
 #: Keys every entry must carry (the stable contract).
 ENTRY_KEYS = (

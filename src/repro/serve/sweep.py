@@ -188,6 +188,9 @@ class ServeCellResult:
     fleet_stats: Dict[str, float]
     latencies: Tuple[Tuple[Optional[float], Optional[float]], ...]
     wall_s: float
+    #: per-stage latency attribution (``--trace`` cells only; ``None``
+    #: when the cell ran untraced or with a disabled tracer).
+    stage_breakdown: Optional[Dict[str, Any]] = None
 
 
 def normalize_clients(token: Union[str, int]) -> str:
@@ -215,9 +218,19 @@ def run_serve_cell(
     backpressure: str,
     scale: ExperimentScale,
     seed: int = 42,
+    trace: Union[bool, str] = False,
+    on_tracer=None,
 ) -> ServeCellResult:
     """Run one scenario online under one frontend configuration; the
-    in-process cell primitive."""
+    in-process cell primitive.
+
+    ``trace=True`` attaches a :class:`repro.trace.Tracer` and fills the
+    result's ``stage_breakdown``; ``trace="disabled"`` attaches the
+    tracer with recording off — the wired-but-idle configuration the
+    ``trace_overhead`` benchmark measures.  ``on_tracer`` (if given) is
+    called with the tracer right after it attaches, so callers can keep a
+    handle for span export.
+    """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     clients = normalize_clients(clients)
     if clients == OPEN_LOOP and (retry != "none" or backpressure != "off"):
@@ -234,6 +247,11 @@ def run_serve_cell(
     horizon = cell_horizon_s(clients, scale)
     start = time.perf_counter()
     system = ClusterServingSystem(config, policy)
+    tracer = None
+    if trace:
+        tracer = system.attach_tracer(enabled=(trace != "disabled"))
+        if on_tracer is not None:
+            on_tracer(tracer)
     if clients == OPEN_LOOP:
         gateway = OnlineGateway(system, workload_arrivals(workload))
         result = system.run_online([gateway], until=horizon, workload_name=workload.name)
@@ -283,6 +301,11 @@ def run_serve_cell(
         client_ttfts = [t for t, _ in latencies if t is not None]
         client_e2es = list(population.client_e2e_latencies())
     wall_s = time.perf_counter() - start
+    stage_breakdown = None
+    if tracer is not None and tracer.enabled:
+        from repro.trace import LatencyAttribution
+
+        stage_breakdown = LatencyAttribution.from_tracer(tracer).stage_breakdown()
     return ServeCellResult(
         scenario=spec.name,
         policy=policy_key,
@@ -315,6 +338,7 @@ def run_serve_cell(
         fleet_stats=fleet_stats,
         latencies=latencies,
         wall_s=wall_s,
+        stage_breakdown=stage_breakdown,
     )
 
 
@@ -327,6 +351,7 @@ def stream_cell_metrics(
     scale: ExperimentScale,
     seed: int,
     path: Path,
+    trace: bool = False,
 ) -> int:
     """Replay one cell inline with a live Prometheus metrics stream.
 
@@ -335,7 +360,9 @@ def stream_cell_metrics(
     client-side source (active clients, retries, give-ups) for
     closed-loop cells — streaming text scrapes to ``path``; returns the
     number of scrapes written.  This is what ``python -m repro.serve
-    --metrics-out`` runs (uncached — the stream is the point).
+    --metrics-out`` runs (uncached — the stream is the point).  With
+    ``trace=True`` a span tracer attaches and the stream additionally
+    carries the ``repro_stage_duration_seconds`` histogram.
     """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     clients = normalize_clients(clients)
@@ -346,6 +373,10 @@ def stream_cell_metrics(
     )
     system = ClusterServingSystem(config, make_policy(policy_key))
     monitor = system.attach_metrics(path=path)
+    if trace:
+        from repro.metrics import trace_metrics_source
+
+        monitor.add_source(trace_metrics_source(system.attach_tracer()))
     if clients == OPEN_LOOP:
         frontend = OnlineGateway(system, workload_arrivals(workload))
     else:
@@ -377,6 +408,7 @@ def run_serve_cell_payload(params: Mapping[str, Any], seed: int) -> Dict[str, An
         params["backpressure"],
         params["scale"],
         seed,
+        trace=params.get("trace", False),
     )
     return dataclasses.asdict(cell)
 
@@ -389,6 +421,7 @@ def serve_cell_task(
     backpressure: str,
     scale: ExperimentScale,
     seed: int,
+    trace: bool = False,
 ) -> SweepTask:
     """Describe one serve grid cell as a cacheable sweep task."""
     fleet = make_fleet_config(
@@ -399,29 +432,36 @@ def serve_cell_task(
         frontend["population"] = dataclasses.asdict(
             client_population_config(clients, retry, backpressure)
         )
+    params: Dict[str, Any] = {
+        "scenario": spec,
+        "policy": policy,
+        "clients": clients,
+        "retry": retry,
+        "backpressure": backpressure,
+        "scale": scale,
+    }
+    key: Dict[str, Any] = {
+        "kind": "serve-cell",
+        "schema_version": SCHEMA_VERSION,
+        "scenario": spec_fingerprint(spec),
+        "policy": policy,
+        "frontend": frontend,
+        "horizon_s": cell_horizon_s(clients, scale),
+        "fleet": {
+            **{k: v for k, v in dataclasses.asdict(fleet).items() if k != "admission"},
+            "admission": dataclasses.asdict(fleet.admission),
+        },
+        "scale": dataclasses.asdict(scale),
+    }
+    if trace:
+        # Only traced cells key on the axis: untraced cache entries stay
+        # valid (and bit-identical) whether or not tracing exists.
+        params["trace"] = True
+        key["trace"] = True
     return SweepTask(
         runner="repro.serve.sweep:run_serve_cell_payload",
-        params={
-            "scenario": spec,
-            "policy": policy,
-            "clients": clients,
-            "retry": retry,
-            "backpressure": backpressure,
-            "scale": scale,
-        },
-        key={
-            "kind": "serve-cell",
-            "schema_version": SCHEMA_VERSION,
-            "scenario": spec_fingerprint(spec),
-            "policy": policy,
-            "frontend": frontend,
-            "horizon_s": cell_horizon_s(clients, scale),
-            "fleet": {
-                **{k: v for k, v in dataclasses.asdict(fleet).items() if k != "admission"},
-                "admission": dataclasses.asdict(fleet.admission),
-            },
-            "scale": dataclasses.asdict(scale),
-        },
+        params=params,
+        key=key,
         seed=seed,
         label=f"{spec.name}/{policy}/{clients}/{retry}/{backpressure}",
     )
@@ -525,6 +565,8 @@ def _scenario_entries(
                 "wall_s": cell["wall_s"],
             }
         )
+        if cell.get("stage_breakdown"):
+            entries[-1]["stage_breakdown"] = cell["stage_breakdown"]
     return entries
 
 
@@ -540,6 +582,7 @@ def run_serve_sweep(
     max_workers: Optional[int] = None,
     use_cache: bool = False,
     cache_dir: Optional[Path] = None,
+    trace: bool = False,
 ) -> Dict:
     """Sweep the scenario × policy × clients × retry × backpressure grid.
 
@@ -560,6 +603,9 @@ def run_serve_sweep(
             Python API defaults to off).
         cache_dir: cache location override (default ``.repro_cache/`` at
             the repository root, or ``$REPRO_CACHE_DIR``).
+        trace: attach a per-request span tracer to every cell and add a
+            ``stage_breakdown`` block (per-stage latency attribution) to
+            each entry.  Traced cells cache under a distinct key.
     """
     names = list(scenarios) if scenarios is not None else list(DEFAULT_SCENARIOS)
     policy_keys = list(policies) if policies is not None else list(DEFAULT_POLICIES)
@@ -592,7 +638,10 @@ def run_serve_sweep(
     specs = {name: get_scenario(name) for name in names}
     grid = serve_grid(names, policy_keys, client_tokens, retry_names, bp_names)
     tasks = [
-        serve_cell_task(specs[scenario], policy, token, retry, backpressure, scale, seed)
+        serve_cell_task(
+            specs[scenario], policy, token, retry, backpressure, scale, seed,
+            trace=trace,
+        )
         for scenario, policy, token, retry, backpressure in grid
     ]
 
@@ -625,6 +674,7 @@ def run_serve_sweep(
         "backpressure": bp_names,
         "router": SERVE_ROUTER,
         "autoscaler": SERVE_AUTOSCALER,
+        "trace": bool(trace),
         "entries": entries,
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,

@@ -84,6 +84,12 @@ class ClusterServingSystem:
         self.fleet: Optional[FleetController] = (
             FleetController(config.fleet, self) if config.fleet is not None else None
         )
+        #: optional per-request span recorder (see :meth:`attach_tracer`).
+        #: Initialised before group construction: ``create_group`` checks it.
+        self.tracer = None
+        #: cluster label used in trace track names; the multicluster tier
+        #: overrides it per shard before wiring the shared tracer.
+        self._trace_cluster = "0"
         self._build_initial_groups()
 
         self.dispatcher = Dispatcher()
@@ -176,6 +182,8 @@ class ClusterServingSystem:
         )
         self.groups.append(group)
         group.finish_listeners.append(self._notify_finished)
+        if self.tracer is not None:
+            self._wire_group_tracer(group)
         if self.fleet is not None:
             self.fleet.on_group_created(group)
         return group
@@ -196,6 +204,8 @@ class ClusterServingSystem:
         """Dispatch a request right now (through the fleet layer if present)."""
         self._submitted += 1
         self._all_requests.append(request)
+        if self.tracer is not None:
+            self.tracer.on_submit(request)
         if self.fleet is not None:
             self.fleet.submit(request)
         else:
@@ -329,6 +339,44 @@ class ClusterServingSystem:
         monitor.add_source(fleet_metrics_source(self))
         self.metrics_monitor = monitor
         return monitor
+
+    def _wire_group_tracer(self, group: ServingGroup) -> None:
+        # A disabled tracer is never wired into the per-iteration hot
+        # path: the group keeps ``tracer = None`` so its hook sites stay
+        # a bare ``is None`` check — the near-zero overhead the
+        # ``trace_overhead`` bench row pins.
+        group.tracer = self.tracer if self.tracer.enabled else None
+        group.trace_track = f"cluster{self._trace_cluster}/group{group.group_id}"
+
+    def attach_tracer(self, tracer=None, *, enabled: bool = True):
+        """Install a :class:`repro.trace.Tracer` on this system.
+
+        Wires the span-recording hooks through the whole stack: request
+        submission, admission (dispatch / shed / route), every serving
+        group's iteration loop and migration mechanism, and the
+        intra-cluster network fabric.  Tracing is off by default — an
+        unattached system pays one ``is not None`` check per hook site —
+        and ``enabled=False`` attaches the tracer without wiring the
+        group/fabric/admission hot paths, so a disabled tracer costs the
+        same bare checks as an untraced run (the near-zero configuration
+        the ``trace_overhead`` bench row pins).
+
+        Pass an existing ``tracer`` to share one recorder across systems
+        (the multicluster tier shares its tracer with every shard).
+        """
+        from repro.trace import Tracer
+
+        if tracer is None:
+            tracer = Tracer(self.loop, enabled=enabled)
+        self.tracer = tracer
+        for group in self.groups:
+            self._wire_group_tracer(group)
+        if tracer.enabled:
+            self.fabric.tracer = tracer
+            if self.fleet is not None:
+                self.fleet.admission.tracer = tracer
+            self.add_completion_listener(tracer.on_finished)
+        return tracer
 
     # ------------------------------------------------------------------
     # Monitor callback

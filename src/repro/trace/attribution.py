@@ -1,0 +1,150 @@
+"""Latency attribution: fold stage spans into per-stage time decomposition.
+
+:class:`LatencyAttribution` consumes spans (from a live
+:class:`~repro.trace.tracer.Tracer` or a spans JSONL file) and answers
+"which stage ate the time": per finished request a ``{stage: seconds}``
+decomposition whose TTFT stages sum to the recorded TTFT and whose full
+sum is the recorded E2E latency, and per population the aggregated
+p50/p90/p99 per stage — the ``stage_breakdown`` block the serve and chaos
+sweeps embed when run with ``--trace``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+from repro.trace.spans import STAGE_DECODE, STAGE_ORDER, TTFT_STAGES, Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.tracer import Tracer
+
+
+def _percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (same convention as the sweep summaries)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, int(round(q / 100.0 * len(ordered))))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class LatencyAttribution:
+    """Per-stage time decomposition over a set of spans."""
+
+    def __init__(self, spans: Iterable[Span]) -> None:
+        self._roots: Dict[int, Span] = {}
+        self._stages: Dict[int, List[Span]] = {}
+        for span in spans:
+            if span.kind == "root":
+                self._roots[span.request_id] = span
+            elif span.kind == "stage":
+                self._stages.setdefault(span.request_id, []).append(span)
+
+    @classmethod
+    def from_tracer(cls, tracer: "Tracer") -> "LatencyAttribution":
+        return cls(tracer.spans())
+
+    @classmethod
+    def from_jsonl(cls, path) -> "LatencyAttribution":
+        from repro.trace.export import read_spans_jsonl
+
+        return cls(read_spans_jsonl(path))
+
+    # ------------------------------------------------------------------
+    # Per-request decomposition
+    # ------------------------------------------------------------------
+    def finished_request_ids(self) -> List[int]:
+        return sorted(
+            rid
+            for rid, root in self._roots.items()
+            if root.meta.get("status") == "finished"
+        )
+
+    def per_request(self) -> Dict[int, Dict[str, float]]:
+        """``{request_id: {stage: seconds, "ttft_s": ..., "e2e_s": ...}}``.
+
+        Stage keys follow :data:`repro.trace.spans.STAGE_ORDER`; stages a
+        request never entered are absent.  ``ttft_s`` / ``e2e_s`` are the
+        *recorded* request latencies carried on the root span, which the
+        stage sums reconcile against.
+        """
+        decomposition: Dict[int, Dict[str, float]] = {}
+        for rid in self.finished_request_ids():
+            root = self._roots[rid]
+            stages: Dict[str, float] = {}
+            for span in self._stages.get(rid, ()):
+                stages[span.name] = stages.get(span.name, 0.0) + (span.end_s - span.start_s)
+            entry = {name: stages[name] for name in STAGE_ORDER if name in stages}
+            entry.update(
+                {name: value for name, value in stages.items() if name not in STAGE_ORDER}
+            )
+            entry["ttft_s"] = float(root.meta.get("ttft_s", 0.0))
+            entry["e2e_s"] = float(root.meta.get("e2e_s", 0.0))
+            decomposition[rid] = entry
+        return decomposition
+
+    def reconcile(self, *, rel_tol: float = 1e-9, abs_tol: float = 1e-6) -> List[str]:
+        """Check stage sums against recorded TTFT / E2E per finished request.
+
+        Returns human-readable problems; empty means every finished request
+        reconciles (the tentpole acceptance criterion).
+        """
+        problems: List[str] = []
+        for rid, entry in self.per_request().items():
+            stage_sum = sum(
+                value for name, value in entry.items() if name in STAGE_ORDER
+            )
+            ttft_sum = sum(
+                entry.get(name, 0.0) for name in TTFT_STAGES
+            )
+            for label, total, expected in (
+                ("e2e", stage_sum, entry["e2e_s"]),
+                ("ttft", ttft_sum, entry["ttft_s"]),
+            ):
+                tolerance = abs_tol + rel_tol * max(1.0, abs(expected))
+                if abs(total - expected) > tolerance:
+                    problems.append(
+                        f"request {rid}: stage {label} sum {total!r} != recorded "
+                        f"{expected!r}"
+                    )
+        return problems
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage ``{count, total_s, mean_s, p50_s, p90_s, p99_s}``."""
+        by_stage: Dict[str, List[float]] = {}
+        for entry in self.per_request().values():
+            for name in STAGE_ORDER:
+                if name in entry:
+                    by_stage.setdefault(name, []).append(entry[name])
+        aggregated: Dict[str, Dict[str, float]] = {}
+        for name in STAGE_ORDER:
+            values = by_stage.get(name)
+            if not values:
+                continue
+            aggregated[name] = {
+                "count": len(values),
+                "total_s": sum(values),
+                "mean_s": sum(values) / len(values),
+                "p50_s": _percentile(values, 50.0),
+                "p90_s": _percentile(values, 90.0),
+                "p99_s": _percentile(values, 99.0),
+            }
+        return aggregated
+
+    def stage_breakdown(self) -> Dict:
+        """The JSON block embedded in traced sweep entries."""
+        per_request = self.per_request()
+        ttft_values = [entry["ttft_s"] for entry in per_request.values()]
+        e2e_values = [entry["e2e_s"] for entry in per_request.values()]
+        return {
+            "requests": len(per_request),
+            "reconciled": len(per_request) - len(self.reconcile()),
+            "ttft_p50": _percentile(ttft_values, 50.0),
+            "ttft_p99": _percentile(ttft_values, 99.0),
+            "e2e_p50": _percentile(e2e_values, 50.0),
+            "e2e_p99": _percentile(e2e_values, 99.0),
+            "stages": self.aggregate(),
+        }

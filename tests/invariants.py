@@ -23,6 +23,9 @@ The invariants:
   retry_pending + gave_up`` (every shed attempt is either retried,
   awaiting its retry at the horizon, or abandoned) and ``offered ==
   finished + gave_up + client_incomplete``.
+* **span conservation** — trace output (``repro.trace``): every finished
+  request has exactly one closed root span, and its stage spans tile the
+  root exactly, so stage durations sum to the end-to-end latency.
 """
 
 from __future__ import annotations
@@ -155,6 +158,67 @@ def assert_serve_conservation(entry: Dict) -> None:
         assert entry["goodput_per_submitted"] == ratio, (
             f"{label}: goodput_per_submitted inconsistent with finished/submitted"
         )
+
+
+def assert_span_conservation(
+    spans, *, rel_tol: float = 1e-9, abs_tol: float = 1e-6
+) -> int:
+    """Every finished request's stage spans tile its root span exactly.
+
+    Accepts ``repro.trace`` :class:`~repro.trace.Span` objects or their
+    ``to_dict`` form (the spans-JSONL schema).  For every request whose
+    root span carries ``meta.status == "finished"``:
+
+    * there is exactly one root span, and it is closed;
+    * the stage spans (kind ``"stage"``) sum to the root duration within
+      ``abs_tol + rel_tol * max(1, |root duration|)`` — the tracer folds
+      boundaries into a partition of ``[root_start, root_end]``, so this
+      is an identity, not an approximation.
+
+    Returns the number of finished requests checked (callers assert it
+    is non-zero so an empty trace cannot vacuously pass).
+    """
+    as_dict = lambda span: span if isinstance(span, dict) else span.to_dict()
+    roots: Dict[int, List[Dict]] = {}
+    stages: Dict[int, List[Dict]] = {}
+    for raw in spans:
+        span = as_dict(raw)
+        rid = span["request_id"]
+        if span["kind"] == "root":
+            roots.setdefault(rid, []).append(span)
+        elif span["kind"] == "stage":
+            stages.setdefault(rid, []).append(span)
+    checked = 0
+    for rid, request_roots in sorted(roots.items()):
+        finished = [
+            root
+            for root in request_roots
+            if (root.get("meta") or {}).get("status") == "finished"
+        ]
+        if not finished:
+            continue
+        assert len(request_roots) == 1, (
+            f"request {rid}: {len(request_roots)} root spans, expected exactly one"
+        )
+        root = finished[0]
+        assert root["end_s"] is not None, f"request {rid}: root span never closed"
+        expected = root["end_s"] - root["start_s"]
+        total = 0.0
+        for stage in stages.get(rid, ()):
+            assert stage["end_s"] is not None, (
+                f"request {rid}: open stage span {stage['name']!r}"
+            )
+            assert stage["end_s"] >= stage["start_s"], (
+                f"request {rid}: stage {stage['name']!r} has negative duration"
+            )
+            total += stage["end_s"] - stage["start_s"]
+        tolerance = abs_tol + rel_tol * max(1.0, abs(expected))
+        assert abs(total - expected) <= tolerance, (
+            f"request {rid}: stage durations sum to {total}, root span "
+            f"duration is {expected} (difference {abs(total - expected)})"
+        )
+        checked += 1
+    return checked
 
 
 def assert_document_invariants(document: Dict) -> List[Dict]:

@@ -92,6 +92,7 @@ class TestSchema:
             "chaos",
             "serve",
             "sweep_cache",
+            "trace_overhead",
         }
 
 
