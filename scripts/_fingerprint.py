@@ -1,0 +1,130 @@
+"""Dev-only: fingerprint simulation outputs to gate bit-identical refactors.
+
+Usage: PYTHONPATH=src python scripts/_fingerprint.py OUT.json
+"""
+import hashlib
+import json
+import sys
+
+
+def _scrub(obj):
+    if isinstance(obj, dict):
+        return {
+            k: _scrub(v)
+            for k, v in obj.items()
+            if not (k.startswith("wall_s") or k in ("cache_hits", "cache_misses"))
+        }
+    if isinstance(obj, list):
+        return [_scrub(v) for v in obj]
+    return obj
+
+
+def digest(obj) -> str:
+    return hashlib.sha256(
+        json.dumps(_scrub(obj), sort_keys=True).encode()
+    ).hexdigest()
+
+
+def main() -> None:
+    out = {}
+
+    from repro.bench.harness import CANONICAL_SCALE, run_policy_benchmark
+    from repro.experiments.runner import (
+        WORKLOAD_PRESETS,
+        build_preset_workload,
+        build_system_config,
+        make_policies,
+    )
+    from repro.serving.system import ClusterServingSystem
+
+    preset = WORKLOAD_PRESETS["burstgpt-14b"]
+    workload = build_preset_workload(preset, CANONICAL_SCALE, seed=42)
+    for policy in make_policies():
+        config = build_system_config(preset, CANONICAL_SCALE, seed=42)
+        system = ClusterServingSystem(config, policy)
+        result = system.run(workload)
+        rows = [
+            (
+                r.request_id,
+                r.ttft,
+                r.mean_tpot,
+                r.finish_time,
+                r.finished,
+                r.output_tokens,
+                r.preemption_count,
+            )
+            for r in result.records
+        ]
+        out[f"policy:{policy.name}"] = digest(
+            {"rows": rows, "summary": result.summary, "dur": result.duration_s}
+        )
+
+    from repro.scenarios.sweep import run_sweep
+
+    out["scenarios"] = digest(
+        run_sweep(
+            scenarios=("steady-poisson", "spike-train"),
+            policies=("vllm", "kunserve"),
+            seed=42,
+            max_workers=1,
+        )
+    )
+
+    from repro.fleet.sweep import run_fleet_sweep
+
+    out["fleet"] = digest(
+        run_fleet_sweep(
+            scenarios=("steady-poisson",),
+            policies=("vllm",),
+            routers=("least_loaded", "power_of_two_choices"),
+            autoscalers=("fixed", "elastic"),
+            seed=42,
+            max_workers=1,
+        )
+    )
+
+    from repro.multicluster.sweep import run_multicluster_sweep
+
+    out["multicluster"] = digest(
+        run_multicluster_sweep(
+            scenarios=("steady-poisson",),
+            policies=("vllm",),
+            cluster_counts=(2,),
+            seed=42,
+            max_workers=1,
+        )
+    )
+
+    from repro.chaos.sweep import run_chaos_sweep
+
+    out["chaos"] = digest(
+        run_chaos_sweep(
+            scenarios=("steady-poisson",),
+            policies=("vllm",),
+            faults=("cluster-outage",),
+            migrations=("sticky", "migrate"),
+            seed=42,
+            max_workers=1,
+        )
+    )
+
+    from repro.serve.sweep import run_serve_sweep
+
+    out["serve"] = digest(
+        run_serve_sweep(
+            scenarios=("spike-train",),
+            policies=("vllm",),
+            clients=("open", "16"),
+            retries=("backoff",),
+            backpressures=("on",),
+            seed=42,
+            max_workers=1,
+        )
+    )
+
+    json.dump(out, open(sys.argv[1], "w"), indent=1)
+    print(json.dumps(out, indent=1))
+
+
+if __name__ == "__main__":
+    main()

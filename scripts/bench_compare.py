@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare two ``BENCH_results.json`` files and flag wall-clock regressions.
+"""Compare two ``BENCH_results.json`` files and flag regressions.
 
 Makes the benchmark trajectory actionable: run ``scripts/bench.sh`` before
 and after a change, then
@@ -7,11 +7,16 @@ and after a change, then
     python scripts/bench_compare.py BASELINE.json CURRENT.json
 
 prints a per-entry wall-clock diff and exits non-zero when any matched
-entry regressed by more than ``--threshold`` percent (default 25%).
-Entries are matched by their ``(experiment, policy)`` identity; entries
-present on only one side are reported but never fail the comparison (new
-benchmarks appear, old ones retire).  Stdlib-only on purpose, so it runs
-anywhere a checkout exists (CI included) without ``PYTHONPATH`` setup.
+entry regressed by more than ``--threshold`` percent (default 25%), or
+when any matched entry's simulated-event throughput (``events_per_s``)
+dropped by more than ``--events-threshold`` percent (default 30%) — the
+latter guards the event core itself (the ``event_core`` microbench row
+most of all) against dispatch-path slowdowns that wall-clock thresholds
+on small rows would miss.  Entries are matched by their
+``(experiment, policy)`` identity; entries present on only one side are
+reported but never fail the comparison (new benchmarks appear, old ones
+retire).  Stdlib-only on purpose, so it runs anywhere a checkout exists
+(CI included) without ``PYTHONPATH`` setup.
 """
 
 from __future__ import annotations
@@ -24,7 +29,8 @@ from typing import Dict, List, Tuple
 
 #: A regression smaller than this many wall-clock seconds is ignored even if
 #: it exceeds the percentage threshold: tiny entries (a few ms) jitter far
-#: more than they inform.
+#: more than they inform.  The same floor gates throughput checks — an
+#: entry whose baseline ran shorter than this can't be measured reliably.
 MIN_ABS_REGRESSION_S = 0.05
 
 
@@ -43,11 +49,15 @@ def compare(
     current: Dict[Tuple[str, str], dict],
     threshold_pct: float,
     min_abs_s: float = MIN_ABS_REGRESSION_S,
+    events_threshold_pct: float = 30.0,
 ) -> Tuple[List[str], List[str]]:
     """Return (report lines, regression lines) for the two entry sets."""
     lines: List[str] = []
     regressions: List[str] = []
-    header = f"{'experiment':<20} {'policy':<12} {'base_s':>8} {'curr_s':>8} {'delta':>8}"
+    header = (
+        f"{'experiment':<20} {'policy':<12} {'base_s':>8} {'curr_s':>8} "
+        f"{'delta':>8} {'ev/s':>9}"
+    )
     lines.append(header)
     for key in sorted(set(baseline) | set(current)):
         experiment, policy = key
@@ -69,9 +79,27 @@ def compare(
                 f"{experiment} ({policy}): {base_s:.2f}s -> {curr_s:.2f}s "
                 f"(+{delta_pct:.0f}% > {threshold_pct:.0f}%)"
             )
+        # Throughput gate: only meaningful where both sides actually
+        # executed events and the baseline ran long enough to measure.
+        base_eps = float(base.get("events_per_s", 0.0))
+        curr_eps = float(curr.get("events_per_s", 0.0))
+        eps_drop_pct = 0.0
+        if (
+            int(base.get("events", 0)) > 0
+            and int(curr.get("events", 0)) > 0
+            and base_eps > 0
+            and base_s >= min_abs_s
+        ):
+            eps_drop_pct = 100.0 * (base_eps - curr_eps) / base_eps
+            if eps_drop_pct > events_threshold_pct:
+                marker = "  REGRESSION"
+                regressions.append(
+                    f"{experiment} ({policy}): {base_eps:.0f} -> {curr_eps:.0f} "
+                    f"events/s (-{eps_drop_pct:.0f}% > {events_threshold_pct:.0f}%)"
+                )
         lines.append(
             f"{experiment:<20} {policy:<12} {base_s:>8.2f} {curr_s:>8.2f} "
-            f"{delta_pct:>+7.1f}%{marker}"
+            f"{delta_pct:>+7.1f}% {-eps_drop_pct:>+8.1f}%{marker}"
         )
     return lines, regressions
 
@@ -79,7 +107,7 @@ def compare(
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Diff two BENCH_results.json files; exit 1 on wall-clock "
-        "regressions beyond the threshold."
+        "or events/s regressions beyond the thresholds."
     )
     parser.add_argument("baseline", type=Path, help="baseline BENCH_results.json")
     parser.add_argument("current", type=Path, help="current BENCH_results.json")
@@ -91,9 +119,19 @@ def main(argv=None) -> int:
         help="max tolerated per-entry wall-clock regression in percent "
         "(default: 25)",
     )
+    parser.add_argument(
+        "--events-threshold",
+        type=float,
+        default=30.0,
+        metavar="PCT",
+        help="max tolerated per-entry events/s throughput drop in percent "
+        "(default: 30)",
+    )
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
+    if args.events_threshold <= 0:
+        parser.error("--events-threshold must be positive")
 
     try:
         baseline = load_entries(args.baseline)
@@ -102,18 +140,24 @@ def main(argv=None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    lines, regressions = compare(baseline, current, args.threshold)
+    lines, regressions = compare(
+        baseline, current, args.threshold,
+        events_threshold_pct=args.events_threshold,
+    )
     print("\n".join(lines))
     if regressions:
         print(
-            f"\n{len(regressions)} wall-clock regression(s) beyond "
-            f"{args.threshold:.0f}%:",
+            f"\n{len(regressions)} regression(s) beyond the thresholds "
+            f"(wall >{args.threshold:.0f}%, events/s >{args.events_threshold:.0f}%):",
             *regressions,
             sep="\n  ",
             file=sys.stderr,
         )
         return 1
-    print(f"\nno wall-clock regressions beyond {args.threshold:.0f}%")
+    print(
+        f"\nno regressions beyond {args.threshold:.0f}% wall / "
+        f"{args.events_threshold:.0f}% events/s"
+    )
     return 0
 
 

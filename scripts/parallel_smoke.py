@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""CI smoke for conservative parallel shard execution.
+
+Runs one eligible multicluster tier cell (4 shards, locality routing,
+fixed autoscaler) twice — serially and under the parallel executor with
+two pool workers — scrubs wall-clock, and fails (exit 1) unless the two
+runs are bit-identical.  Prints the measured walls, the speedup and the
+host CPU count; on 1-CPU CI runners the speedup is expectedly below 1x
+(process setup with no parallelism to pay for it) — the *determinism* is
+the contract this smoke guards, the speedup line is context.
+
+Usage: PYTHONPATH=src python scripts/parallel_smoke.py [--shards N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+from repro.experiments.runner import ExperimentScale
+from repro.multicluster.config import make_multicluster_config
+from repro.multicluster.sweep import SWEEP_ADMISSION, tier_workload_scale
+from repro.parallel import parallel_ineligibility, run_parallel
+from repro.policies import make_policy
+from repro.multicluster.system import MultiClusterSystem
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.sweep import build_cell_config
+
+SCALE = ExperimentScale(
+    name="parallel-smoke",
+    num_instances=2,
+    trace_duration_s=8.0,
+    drain_timeout_s=10.0,
+)
+
+
+def build_config(shards: int, execution: str, seed: int):
+    spec = get_scenario("steady-poisson")
+    config = build_cell_config(spec, SCALE, seed=seed)
+    config.multicluster = make_multicluster_config(
+        num_clusters=shards,
+        global_router="locality_affinity",
+        placement="spare_capacity_first",
+        cluster_autoscaler="fixed",
+        admission=SWEEP_ADMISSION,
+        execution=execution,
+    )
+    return spec, config
+
+
+def digest(records, summary, stats, duration_s, finished) -> str:
+    payload = {
+        "records": [(r.ttft, r.mean_tpot, r.finished) for r in records],
+        "summary": summary,
+        "stats": stats,
+        "duration_s": duration_s,
+        "finished": finished,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    spec, config = build_config(args.shards, "parallel", args.seed)
+    reason = parallel_ineligibility(config)
+    if reason is not None:
+        print(f"error: smoke config unexpectedly ineligible: {reason}", file=sys.stderr)
+        return 2
+    workload = spec.build_workload(tier_workload_scale(SCALE, args.shards), args.seed)
+
+    start = time.perf_counter()
+    _, serial_config = build_config(args.shards, "serial", args.seed)
+    system = MultiClusterSystem(serial_config, lambda: make_policy("vllm"))
+    serial_result = system.run(workload)
+    serial_wall = time.perf_counter() - start
+    serial_digest = digest(
+        serial_result.records, serial_result.summary, system.stats(),
+        serial_result.duration_s, serial_result.finished_requests,
+    )
+
+    start = time.perf_counter()
+    outcome = run_parallel(config, "vllm", workload, max_workers=args.workers)
+    parallel_wall = time.perf_counter() - start
+    parallel_digest = digest(
+        outcome.result.records, outcome.result.summary, outcome.view.stats(),
+        outcome.result.duration_s, outcome.result.finished_requests,
+    )
+
+    report = outcome.report
+    print(
+        f"shards={args.shards} workers={report.workers} "
+        f"cpus={os.cpu_count()} windows={report.window_count} "
+        f"window_s={report.window_s}"
+    )
+    print(
+        f"serial {serial_wall:.2f}s vs parallel {parallel_wall:.2f}s "
+        f"({serial_wall / parallel_wall:.2f}x)"
+    )
+    if serial_digest != parallel_digest:
+        print(
+            f"DIGEST MISMATCH: serial {serial_digest[:16]} != "
+            f"parallel {parallel_digest[:16]}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"digests identical: {serial_digest[:16]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

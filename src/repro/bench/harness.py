@@ -118,8 +118,15 @@ def entry_dict(entry: BenchEntry) -> Dict[str, Any]:
 
 
 def _metered(fn: Callable[[], Dict[str, float]]) -> Dict[str, float]:
-    """Run ``fn`` measuring wall time and global event-loop activity."""
+    """Run ``fn`` measuring wall time and global event-loop activity.
+
+    ``sim_s`` is the simulated time advanced by every event loop ``fn``
+    ran (the :attr:`EventLoop.lifetime_sim_s` delta); a body that knows a
+    better figure (e.g. a single run's ``result.duration_s``) may return
+    its own ``sim_s`` to override it.
+    """
     events_before = EventLoop.lifetime_events
+    sim_before = EventLoop.lifetime_sim_s
     start = time.perf_counter()
     extra = fn() or {}
     wall_s = time.perf_counter() - start
@@ -128,6 +135,7 @@ def _metered(fn: Callable[[], Dict[str, float]]) -> Dict[str, float]:
         "wall_s": wall_s,
         "events": events,
         "events_per_s": events / wall_s if wall_s > 0 and events else 0.0,
+        "sim_s": EventLoop.lifetime_sim_s - sim_before,
         **extra,
     }
 
@@ -382,6 +390,99 @@ def _trace_overhead_benchmark(scale: ExperimentScale, seed: int) -> Dict[str, fl
     }
 
 
+def _event_core_benchmark(scale: ExperimentScale, seed: int) -> None:
+    """Pure event-loop microbenchmark: dispatch cost with nothing else.
+
+    Sixteen self-rescheduling timer chains, each with a distinct period,
+    where every tick also bursts four zero-delay no-ops — the schedule
+    shape the serving simulator produces (staggered periodic processes
+    plus same-timestamp kick storms), minus all model work.  The row's
+    ``events_per_s`` is therefore the raw dispatch throughput of
+    :class:`~repro.simulation.event_loop.EventLoop` itself; the
+    regression gate in ``scripts/bench_compare.py`` watches it across
+    PRs.  Event count scales with the trace length so tiny smoke runs
+    stay fast (~5k events/s of trace ≈ 80k tiny / 900k canonical).
+    """
+    loop = EventLoop()
+
+    def noop() -> None:
+        pass
+
+    def make_chain(index: int) -> Callable[[], None]:
+        period = 0.001 + 0.0001 * index
+
+        def tick() -> None:
+            for _ in range(4):
+                loop.schedule(0.0, noop)
+            loop.schedule(period, tick)
+
+        return tick
+
+    for index in range(16):
+        chain = make_chain(index)
+        loop.schedule(0.001 * index, chain)
+    loop.run(max_events=int(20_000 * scale.trace_duration_s))
+
+
+def _parallel_shards_benchmark(scale: ExperimentScale, seed: int) -> Dict[str, float]:
+    """Serial vs. conservative-parallel execution of one eligible tier cell.
+
+    A four-shard ``locality_affinity``/``fixed``-autoscaler cell — the
+    configuration class :mod:`repro.parallel` can shard — run serially and
+    then under the parallel executor.  The additive fields record measured
+    wall-clocks, the speedup, the worker/CPU counts (a 1-CPU container
+    cannot show a real speedup; ``cpu_count`` makes that legible in the
+    trajectory) and ``identical`` — 1.0 iff the two runs produced
+    bit-identical records, summaries and tier stats, which is the
+    correctness half of the row.
+    """
+    import os
+
+    from repro.multicluster.config import make_multicluster_config
+    from repro.multicluster.sweep import SWEEP_ADMISSION, run_tier
+    from repro.scenarios.registry import get_scenario
+    from repro.scenarios.sweep import build_cell_config
+
+    spec = get_scenario("steady-poisson")
+    cell_scale = dataclasses.replace(scale, name=f"parallel-shards-{scale.name}")
+    shards = 4
+
+    def build(execution: str):
+        config = build_cell_config(spec, cell_scale, seed=seed)
+        config.multicluster = make_multicluster_config(
+            num_clusters=shards,
+            global_router="locality_affinity",
+            placement="spare_capacity_first",
+            cluster_autoscaler="fixed",
+            admission=SWEEP_ADMISSION,
+            execution=execution,
+        )
+        return config
+
+    def digest(run):
+        return (
+            tuple((r.ttft, r.mean_tpot, r.finished) for r in run.result.records),
+            run.result.summary,
+            run.system.stats(),
+            run.result.duration_s,
+            run.result.finished_requests,
+        )
+
+    serial = run_tier(spec, "vllm", build("serial"), cell_scale, seed)
+    parallel = run_tier(spec, "vllm", build("parallel"), cell_scale, seed)
+    report = parallel.parallel
+    identical = digest(serial) == digest(parallel)
+    return {
+        "shards": float(shards),
+        "workers": float(report.workers if report is not None else 0),
+        "cpu_count": float(os.cpu_count() or 1),
+        "serial_wall_s": serial.wall_s,
+        "parallel_wall_s": parallel.wall_s,
+        "speedup": serial.wall_s / parallel.wall_s if parallel.wall_s > 0 else 0.0,
+        "identical": 1.0 if identical else 0.0,
+    }
+
+
 #: id -> runner; every runner accepts the scale unless marked analytic.
 EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "figure2": lambda scale, seed: figure2.run_figure2(scale, seed=seed),
@@ -406,11 +507,13 @@ EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "serve": _serve_sweep_benchmark,
     "sweep_cache": _sweep_cache_benchmark,
     "trace_overhead": _trace_overhead_benchmark,
+    "event_core": _event_core_benchmark,
+    "parallel_shards": _parallel_shards_benchmark,
 }
 
 #: Experiment ids whose runner's return value is a dict of additive entry
 #: fields (everything else returns a document the meter ignores).
-EXTRA_FIELD_RUNNERS = frozenset({"sweep_cache", "trace_overhead"})
+EXTRA_FIELD_RUNNERS = frozenset({"sweep_cache", "trace_overhead", "parallel_shards"})
 
 
 def run_experiment_benchmark(
@@ -427,14 +530,14 @@ def run_experiment_benchmark(
     extra = {
         key: value
         for key, value in measured.items()
-        if key not in ("wall_s", "events", "events_per_s")
+        if key not in ("wall_s", "sim_s", "events", "events_per_s")
     }
     return BenchEntry(
         experiment=experiment_id,
         kind="experiment",
         policy=None,
         wall_s=measured["wall_s"],
-        sim_s=0.0,
+        sim_s=measured["sim_s"],
         events=int(measured["events"]),
         events_per_s=measured["events_per_s"],
         finished_requests=0,
@@ -572,5 +675,13 @@ def format_results(document: Dict) -> str:
                 f"{'':<18} {'':<12} untraced {entry['untraced_wall_s']:.2f}s vs "
                 f"disabled tracer {entry['disabled_wall_s']:.2f}s "
                 f"({entry['overhead_ratio']:.3f}x)"
+            )
+        if entry["experiment"] == "parallel_shards" and "speedup" in entry:
+            lines.append(
+                f"{'':<18} {'':<12} serial {entry['serial_wall_s']:.2f}s vs "
+                f"parallel {entry['parallel_wall_s']:.2f}s "
+                f"({entry['speedup']:.2f}x, {entry['workers']:.0f} workers / "
+                f"{entry['cpu_count']:.0f} cpus, identical="
+                f"{'yes' if entry['identical'] else 'NO'})"
             )
     return "\n".join(lines)

@@ -150,6 +150,7 @@ def run_chaos_cell(
     seed: int = 42,
     trace: Union[bool, str] = False,
     on_tracer=None,
+    execution: str = "serial",
 ) -> ChaosCellResult:
     """Run one scenario through one (policy, faults, migration)
     combination; the in-process cell primitive.
@@ -158,6 +159,11 @@ def run_chaos_cell(
     fills the result's ``stage_breakdown``; ``trace="disabled"`` attaches
     it with recording off.  ``on_tracer`` receives the tracer right after
     it attaches, so callers can keep a handle for span export.
+
+    ``execution="parallel"`` requests the conservative parallel shard
+    executor; chaos cells with fault schedules (and any cell using the
+    default elastic autoscaler) are ineligible and transparently run
+    serially, with the reason recorded on the underlying ``TierRun``.
     """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     schedule = cell_schedule(faults, scale, seed)
@@ -168,6 +174,7 @@ def run_chaos_cell(
         placement=CHAOS_PLACEMENT,
         admission=SWEEP_ADMISSION,
         session_migration=migration,
+        execution=execution,
     )
     config.chaos = schedule if schedule else None
     run = run_tier(spec, policy_key, config, scale, seed, trace=trace, on_tracer=on_tracer)
@@ -257,6 +264,7 @@ def run_chaos_cell_payload(params: Mapping[str, Any], seed: int) -> Dict[str, An
         params["scale"],
         seed,
         trace=params.get("trace", False),
+        execution=params.get("execution", "serial"),
     )
     return dataclasses.asdict(cell)
 
@@ -269,6 +277,7 @@ def chaos_cell_task(
     scale: ExperimentScale,
     seed: int,
     trace: bool = False,
+    execution: str = "serial",
 ) -> SweepTask:
     """Describe one chaos grid cell as a cacheable sweep task."""
     mc = make_multicluster_config(
@@ -277,6 +286,7 @@ def chaos_cell_task(
         placement=CHAOS_PLACEMENT,
         admission=SWEEP_ADMISSION,
         session_migration=migration,
+        execution=execution,
     )
     schedule = cell_schedule(faults, scale, seed)
     params: Dict[str, Any] = {
@@ -285,6 +295,7 @@ def chaos_cell_task(
         "faults": faults,
         "migration": migration,
         "scale": scale,
+        "execution": execution,
     }
     key: Dict[str, Any] = {
         "kind": "chaos-cell",
@@ -294,11 +305,13 @@ def chaos_cell_task(
         # The materialised schedule, not just the preset name: a
         # retimed or resampled preset must invalidate cached cells.
         "schedule": schedule_fingerprint(schedule),
+        # ``execution`` stays out of the key: parallel cells are
+        # bit-identical to serial by contract, so modes share entries.
         "multicluster": {
             **{
                 k: v
                 for k, v in dataclasses.asdict(mc).items()
-                if k != "admission"
+                if k not in ("admission", "execution")
             },
             "admission": dataclasses.asdict(mc.admission),
         },
@@ -410,6 +423,7 @@ def run_chaos_sweep(
     use_cache: bool = False,
     cache_dir: Optional[Path] = None,
     trace: bool = False,
+    execution: str = "serial",
 ) -> Dict:
     """Sweep the scenario × policy × faults × migration grid.
 
@@ -462,7 +476,9 @@ def run_chaos_sweep(
         raise ValueError("max_workers must be >= 1")
     specs = [get_scenario(name) for name in names]
     tasks = [
-        chaos_cell_task(spec, policy, fault, migration, scale, seed, trace=trace)
+        chaos_cell_task(
+            spec, policy, fault, migration, scale, seed, trace=trace, execution=execution
+        )
         for spec in specs
         for policy in policy_keys
         for fault in fault_names

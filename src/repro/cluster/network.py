@@ -37,7 +37,7 @@ class TransferPriority(enum.IntEnum):
     BULK = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Transfer:
     """An in-flight data transfer between two fabric nodes."""
 
@@ -291,26 +291,40 @@ class NetworkFabric:
             transfer._last_update = now
 
     def _recompute_rates(self) -> None:
-        """Recompute every active transfer's rate and completion event."""
-        self._advance_progress()
-        active = list(self._active.values())
+        """Recompute every active transfer's rate and completion event.
+
+        Runs on every submit/complete/cancel with O(active) cost, so the
+        two passes are kept tight: the endpoint counting is unrolled (no
+        per-transfer tuple), and progress advancement is fused into the
+        rate-assignment pass (each transfer's advance only reads its own
+        pre-recompute rate, so fusing is result-identical to advancing all
+        transfers first).
+        """
+        now = self._loop.now
+        active = self._active
         # Count per-node demand at each priority level.  Per-node *share*
         # is then computed once per (node, priority) instead of once per
-        # transfer endpoint — this runs on every submit/complete/cancel.
+        # transfer endpoint.
         per_node_high: Dict[str, int] = {}
         per_node_total: Dict[str, int] = {}
+        total_get = per_node_total.get
+        high_get = per_node_high.get
         activation = TransferPriority.ACTIVATION
-        for transfer in active:
-            for node in (transfer.src, transfer.dst):
-                per_node_total[node] = per_node_total.get(node, 0) + 1
-                if transfer.priority == activation:
-                    per_node_high[node] = per_node_high.get(node, 0) + 1
+        for transfer in active.values():
+            src = transfer.src
+            dst = transfer.dst
+            per_node_total[src] = total_get(src, 0) + 1
+            per_node_total[dst] = total_get(dst, 0) + 1
+            if transfer.priority == activation:
+                per_node_high[src] = high_get(src, 0) + 1
+                per_node_high[dst] = high_get(dst, 0) + 1
 
         high_share: Dict[str, float] = {}
         bulk_share: Dict[str, float] = {}
+        node_bandwidth = self._node_bandwidth
         for node, total in per_node_total.items():
-            bandwidth = self._node_bandwidth[node]
-            high = per_node_high.get(node, 0)
+            bandwidth = node_bandwidth[node]
+            high = high_get(node, 0)
             high_share[node] = bandwidth / max(1, high)
             # Bulk transfers share the bandwidth left over after the
             # high-priority class; we conservatively give the high class
@@ -324,7 +338,12 @@ class NetworkFabric:
         # applied when every transfer carried its own event.
         next_transfer: Optional[Transfer] = None
         next_eta = 0.0
-        for transfer in active:
+        for transfer in active.values():
+            elapsed = now - transfer._last_update
+            if elapsed > 0:
+                remaining = transfer.remaining_bytes - transfer.current_rate * elapsed
+                transfer.remaining_bytes = remaining if remaining > 0.0 else 0.0
+            transfer._last_update = now
             share = high_share if transfer.priority == activation else bulk_share
             src_share = share[transfer.src]
             dst_share = share[transfer.dst]

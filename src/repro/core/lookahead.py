@@ -174,9 +174,13 @@ def make_lookahead_former(
 
         # Decode chunks are homogeneous (one token each); spreading them
         # evenly keeps every microbatch's decode work identical so the
-        # cost-balanced prefill split fully determines the balance.
+        # cost-balanced prefill split fully determines the balance.  The
+        # chunk lists are appended to directly: this round-robin runs once
+        # per running request per iteration.
+        num_microbatches = len(microbatches)
+        chunk_lists = [microbatch.chunks for microbatch in microbatches]
         for index, chunk in enumerate(decode_chunks):
-            microbatches[index % len(microbatches)].add(chunk)
+            chunk_lists[index % num_microbatches].append(chunk)
         return [microbatch for microbatch in microbatches if microbatch.chunks]
 
     return former

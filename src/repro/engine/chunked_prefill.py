@@ -28,24 +28,29 @@ def token_count_microbatches(
     if token_budget <= 0:
         raise ValueError("token_budget must be positive")
 
+    # The packing loop visits every scheduled chunk of every pipelined
+    # iteration; the current microbatch's chunk list is manipulated directly
+    # so the per-chunk cost is one append and one counter update.
     microbatches: List[MicroBatch] = []
-    current = MicroBatch()
+    current_chunks: List[ScheduledChunk] = []
     remaining = token_budget
 
     def flush() -> None:
-        nonlocal current, remaining
-        if current.num_chunks:
-            microbatches.append(current)
-        current = MicroBatch()
+        nonlocal current_chunks, remaining
+        if current_chunks:
+            microbatches.append(MicroBatch(chunks=current_chunks))
+            current_chunks = []
         remaining = token_budget
 
     pending: List[ScheduledChunk] = list(chunks)
+    num_pending = len(pending)
     index = 0
-    while index < len(pending):
+    while index < num_pending:
         chunk = pending[index]
-        if chunk.new_tokens <= remaining:
-            current.add(chunk)
-            remaining -= chunk.new_tokens
+        new_tokens = chunk.new_tokens
+        if new_tokens <= remaining:
+            current_chunks.append(chunk)
+            remaining -= new_tokens
             index += 1
             if remaining == 0:
                 flush()
@@ -55,7 +60,7 @@ def token_count_microbatches(
             flush()
             continue
         first, second = chunk.split(remaining)
-        current.add(first)
+        current_chunks.append(first)
         pending[index] = second
         flush()
     flush()

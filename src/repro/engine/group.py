@@ -275,7 +275,9 @@ class ServingGroup:
 
     def _execute(self, batch: IterationBatch) -> Tuple[float, float]:
         """Compute the iteration's duration and bubble fraction."""
-        chunks = list(batch.chunks)
+        # The chunk list is handed to the latency model without copying:
+        # neither path mutates it, and the copy showed up per iteration.
+        chunks = batch.chunks
         if self.num_stages == 1:
             instance = self.instances[0]
             duration = instance.latency.batch_time(chunks, num_layers=len(self._assignment[0]))
@@ -287,24 +289,61 @@ class ServingGroup:
         stage_times: List[List[float]] = []
         comm_times: List[List[float]] = []
         last_stage = self.num_stages - 1
+        # When every stage runs on identical hardware with deterministic
+        # latency (no jitter), batch_time is a pure function of
+        # (chunks, num_layers, include_lm_head) — stages holding the same
+        # layer count produce bit-identical times, so each distinct
+        # (num_layers, lm_head) pair is computed once per microbatch instead
+        # of once per stage.  Jitter disables this: memoizing would change
+        # how many RNG draws happen and perturb every later sample.
+        lat0 = self.instances[0].latency
+        uniform_stages = all(
+            inst.latency.gpu is lat0.gpu
+            and inst.latency.model is lat0.model
+            and inst.latency.tp_degree == lat0.tp_degree
+            and inst.latency.config == lat0.config
+            and (inst.latency._rng is None or inst.latency.config.jitter_fraction <= 0)
+            for inst in self.instances
+        )
         for microbatch in microbatches:
+            mb_chunks = microbatch.chunks
             row = []
-            for stage, instance in enumerate(self.instances):
-                row.append(
-                    instance.latency.batch_time(
-                        microbatch.chunks,
-                        num_layers=max(1, len(self._assignment[stage])),
-                        include_lm_head=(stage == last_stage),
+            mb_tokens = -1
+            if uniform_stages:
+                stage_memo: Dict[Tuple[int, bool], float] = {}
+                for stage in range(self.num_stages):
+                    key = (max(1, len(self._assignment[stage])), stage == last_stage)
+                    duration = stage_memo.get(key)
+                    if duration is None:
+                        without_head, with_head, mb_tokens = lat0.batch_time_pair(
+                            mb_chunks, num_layers=key[0]
+                        )
+                        stage_memo[(key[0], False)] = without_head
+                        stage_memo[(key[0], True)] = with_head
+                        duration = stage_memo[key]
+                    row.append(duration)
+            else:
+                for stage, instance in enumerate(self.instances):
+                    row.append(
+                        instance.latency.batch_time(
+                            mb_chunks,
+                            num_layers=max(1, len(self._assignment[stage])),
+                            include_lm_head=(stage == last_stage),
+                        )
                     )
-                )
             stage_times.append(row)
+            # One token-count sum per microbatch, not one per stage link —
+            # the uniform-stage path gets the count from batch_time_pair's
+            # aggregation pass for free.
+            if mb_tokens < 0:
+                mb_tokens = microbatch.total_new_tokens
             comm_row = []
             for stage in range(self.num_stages - 1):
                 comm_row.append(
                     self._activation_transfer_time(
                         self.instances[stage],
                         self.instances[stage + 1],
-                        microbatch.total_new_tokens,
+                        mb_tokens,
                     )
                 )
             comm_times.append(comm_row)

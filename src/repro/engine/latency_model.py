@@ -126,7 +126,7 @@ class LatencyModel:
         ``num_layers`` defaults to the full model (non-pipelined execution);
         pipeline stages pass their own layer count.
         """
-        chunk_list = list(chunks)
+        chunk_list = chunks if type(chunks) is list else list(chunks)
         if num_layers is None:
             num_layers = self.model.num_layers
         if num_layers <= 0:
@@ -134,8 +134,13 @@ class LatencyModel:
         if not chunk_list:
             return 0.0
 
+        # Decode prefixes grow every iteration, so a batch that leads with a
+        # decode chunk (form_batch schedules decodes first) essentially never
+        # repeats its shape — for those, building and probing the memo key is
+        # pure overhead.  Pure-prefill batches (admission bursts, profiling
+        # sweeps, cost-model calibration) do repeat and keep the memo.
         cache_key = None
-        if self._rng is None or self.config.jitter_fraction <= 0:
+        if (self._rng is None or self.config.jitter_fraction <= 0) and not chunk_list[0].is_decode:
             cache_key = (
                 num_layers,
                 include_lm_head,
@@ -201,6 +206,73 @@ class LatencyModel:
                 self._batch_time_cache.clear()
             self._batch_time_cache[cache_key] = duration
         return self._jitter(duration)
+
+    def batch_time_pair(
+        self,
+        chunks: Iterable[ScheduledChunk],
+        num_layers: Optional[int] = None,
+    ) -> "tuple[float, float, int]":
+        """``(batch_time(lm_head=False), batch_time(lm_head=True), tokens)``.
+
+        Pipeline stages holding the same layer count differ only by the
+        lm-head flag, and the lm-head FLOPs are added *after* the per-chunk
+        aggregation loop — so both durations come from one pass over the
+        chunks with bit-identical arithmetic to two separate calls.  The
+        batch's total new-token count falls out of the same pass and is
+        returned so callers sizing activation transfers do not re-sum.
+        Callers must not use this when jitter is active: it draws the two
+        jitter samples in a fixed order regardless of how many stages
+        consume them.
+        """
+        chunk_list = chunks if type(chunks) is list else list(chunks)
+        if num_layers is None:
+            num_layers = self.model.num_layers
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if not chunk_list:
+            return 0.0, 0.0, 0
+
+        flops_per_token_layer = self._flops_per_token_layer
+        kv_bytes_token_layer = self._kv_bytes_per_token_layer
+        q_dim = self.model.q_dim
+        total_flops = 0.0
+        total_bytes = 0.0
+        total_tokens = 0
+        for chunk in chunk_list:
+            new_tokens = chunk.new_tokens
+            prefix = chunk.prefix_tokens
+            linear = new_tokens * flops_per_token_layer * num_layers
+            attended = prefix + (new_tokens + 1) / 2.0
+            attn = 4.0 * new_tokens * attended * q_dim * num_layers
+            total_flops += linear + attn
+            total_bytes += (prefix + new_tokens) * kv_bytes_token_layer * num_layers
+            total_bytes += new_tokens * kv_bytes_token_layer * num_layers
+            total_tokens += new_tokens
+
+        total_bytes += self._layer_param_bytes * num_layers
+        total_bytes += (
+            4.0 * total_tokens * self.model.hidden_size * self.model.dtype_bytes * num_layers
+        )
+        lm_head_flops = total_flops + 2.0 * total_tokens * self.model.vocab_size * self.model.hidden_size
+
+        effective_flops = self.effective_flops
+        memory_time = total_bytes / self.effective_bandwidth
+        comm_time = tp_layer_comm_time(
+            total_tokens,
+            self.model.hidden_size,
+            self.model.dtype_bytes,
+            self.gpu.nvlink_bandwidth,
+            self.tp_degree,
+        ) * num_layers
+        layer_fraction = num_layers / self.model.num_layers
+        overhead = (
+            self.config.iteration_overhead_s * layer_fraction
+            + self.config.per_chunk_overhead_s * len(chunk_list) * layer_fraction
+            + self.config.per_layer_overhead_s * num_layers
+        )
+        without_head = max(total_flops / effective_flops, memory_time) + comm_time + overhead
+        with_head = max(lm_head_flops / effective_flops, memory_time) + comm_time + overhead
+        return self._jitter(without_head), self._jitter(with_head), total_tokens
 
     def prefill_time(self, prompt_tokens: int, *, prefix_tokens: int = 0) -> float:
         """Convenience: full-model time of a single prefill chunk."""

@@ -35,7 +35,7 @@ class RequestState(enum.Enum):
     FINISHED = "finished"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Request:
     """One inference request.
 
@@ -43,7 +43,8 @@ class Request:
     distinct object, and the scheduler's queue-membership checks sit on the
     simulation's hottest path, where a generated field-by-field ``__eq__``
     (which would compare the ever-growing ``token_times`` list) dominates
-    the run time.
+    the run time.  Slotted for the same reason: nearly every hot loop reads
+    request fields, and slot access skips the per-instance dict.
 
     Attributes:
         request_id: unique id (auto-assigned when negative).
@@ -192,9 +193,17 @@ class Request:
     @property
     def tpot_values(self) -> List[float]:
         """Per-output-token latencies after the first token."""
-        if len(self.token_times) < 2:
+        times = self.token_times
+        if len(times) < 2:
             return []
-        return [b - a for a, b in zip(self.token_times[:-1], self.token_times[1:])]
+        # Pairwise diff without materialising the two slice copies.
+        it = iter(times)
+        prev = next(it)
+        values = []
+        for t in it:
+            values.append(t - prev)
+            prev = t
+        return values
 
     @property
     def mean_tpot(self) -> Optional[float]:

@@ -13,13 +13,19 @@ which is exactly the overloading behaviour the paper studies.
 from __future__ import annotations
 
 import enum
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.engine.batch import IterationBatch, ScheduledChunk
 from repro.engine.request import Request, RequestState
 from repro.memory.paged_kv import PagedKVCache
+
+
+def _fcfs_key(request: Request) -> tuple:
+    """FCFS priority: earlier arrivals first, ties broken by id."""
+    return (request.arrival_time, request.request_id)
 
 
 class PreemptionMode(enum.Enum):
@@ -87,6 +93,25 @@ class ContinuousBatchingScheduler:
         #: ids of requests in ``running`` — membership tests happen per
         #: candidate per iteration, so they must be O(1), not list scans.
         self._running_ids: set[int] = set()
+        #: one reusable ``(chunk, table)`` pair per request: a running
+        #: request decodes for hundreds of iterations and only its prefix
+        #: changes between them, so the chunk object is recycled instead of
+        #: reallocated, and its block table rides along to spare a lookup.
+        #: Consumers (latency model, completion, tracer, listeners) all read
+        #: chunks within the iteration that scheduled them, before the next
+        #: ``form_batch`` can touch the prefix again.  Entries are dropped in
+        #: ``_remove_running``: every path that can replace a request's block
+        #: table (preemption, swap-out, migration, finish) leaves the running
+        #: set first, so a live entry's table is always current.
+        self._decode_chunks: Dict[int, tuple] = {}
+        #: ``running`` maintained in FCFS order ``(arrival_time, request_id)``.
+        #: Batch formation and victim selection consume the running set in
+        #: priority order every iteration; keeping a sorted sibling list
+        #: (updated on the rare add/remove) replaces a per-iteration sort.
+        #: ``running`` itself keeps insertion order because reconfiguration
+        #: paths (KV exchange, fault recovery, group transfers) iterate it
+        #: in that order and their outcomes depend on it.
+        self._running_fcfs: List[Request] = []
         #: True when the last ``form_batch`` had to leave work unscheduled
         #: because of insufficient KV memory (overload signal).
         self.memory_blocked: bool = False
@@ -128,12 +153,15 @@ class ContinuousBatchingScheduler:
 
     def _add_running(self, request: Request) -> None:
         self.running.append(request)
+        insort(self._running_fcfs, request, key=_fcfs_key)
         self._running_ids.add(request.request_id)
 
     def _remove_running(self, request: Request) -> None:
         if request.request_id in self._running_ids:
             self.running.remove(request)
+            self._running_fcfs.remove(request)
             self._running_ids.discard(request.request_id)
+            self._decode_chunks.pop(request.request_id, None)
 
     def is_running(self, request: Request) -> bool:
         """O(1) membership test against the running list."""
@@ -158,10 +186,23 @@ class ContinuousBatchingScheduler:
         return self.kv.used_tokens
 
     def queued_demand_tokens(self) -> int:
-        """KV tokens the queued (and swapped) requests will need to start."""
-        waiting_demand = sum(r.remaining_prefill_tokens for r in self.waiting)
-        swapped_demand = sum(r.context_tokens for r in self.swapped)
-        return waiting_demand + swapped_demand
+        """KV tokens the queued (and swapped) requests will need to start.
+
+        The loops inline :attr:`Request.remaining_prefill_tokens` and
+        :attr:`Request.context_tokens`: the dispatcher and monitor query the
+        demand for every group on every arrival/tick, and under overload the
+        waiting queue is long enough that per-element property-descriptor
+        calls dominate the query.
+        """
+        demand = 0
+        for r in self.waiting:
+            remaining = r.prefill_target - r.prefill_progress
+            if remaining > 0:
+                demand += remaining
+        for r in self.swapped:
+            beyond = r.prompt_tokens + r.output_tokens - r.prefill_target
+            demand += r.prefill_progress + (beyond if beyond > 0 else 0)
+        return demand
 
     def total_demand_tokens(self) -> int:
         """In-processing plus head-of-line demand (the paper's load metric).
@@ -169,10 +210,14 @@ class ContinuousBatchingScheduler:
         Running requests count their resident KV plus the prefill they still
         have to ingest; queued and swapped requests count in full.
         """
-        running_remaining = sum(
-            max(0, r.prefill_target - self.kv.tokens_of(r.request_id)) for r in self.running
-        )
-        return self.used_kv_tokens() + running_remaining + self.queued_demand_tokens()
+        tables = self.kv._tables
+        running_remaining = 0
+        for r in self.running:
+            table = tables.get(r.request_id)
+            deficit = r.prefill_target - (table.num_tokens if table is not None else 0)
+            if deficit > 0:
+                running_remaining += deficit
+        return self.kv.used_tokens + running_remaining + self.queued_demand_tokens()
 
     def has_pending_work(self, now: float) -> bool:
         """Is there any work that could be scheduled at or after ``now``?"""
@@ -209,48 +254,108 @@ class ContinuousBatchingScheduler:
         return batch
 
     def _schedule_decodes(self, batch: IterationBatch, budget: int, now: float) -> int:
+        # The hottest loop of the simulation: one pass per running request
+        # per iteration.  ``_running_fcfs`` is already in FCFS order (no
+        # per-iteration sort), the state checks inline the ``prefill_done``
+        # / ``finished`` / ``is_stalled`` properties, and the one-token KV
+        # grow goes through the allocator's ``append_token`` fast path.
+        finished_state = RequestState.FINISHED
         candidates = [
             r
-            for r in self.running
-            if r.prefill_done and not r.finished and not r.is_stalled(now)
+            for r in self._running_fcfs
+            if r.prefill_progress >= r.prefill_target
+            and r.state is not finished_state
+            and now >= r.stall_until
         ]
-        candidates.sort(key=lambda r: (r.arrival_time, r.request_id))
+        kv = self.kv
+        tables = kv._tables
+        block_size = kv.block_size
+        running_ids = self._running_ids
+        chunk_append = batch.chunks.append
+        decode_chunks = self._decode_chunks
+        # Candidates are all running when the pass starts; only a preemption
+        # inside this loop can evict one, so the membership re-check is
+        # skipped until the first eviction happens.
+        evicted = False
         for request in candidates:
             if budget <= 0:
                 break
-            if not self.is_running(request):
+            rid = request.request_id
+            if evicted and rid not in running_ids:
                 # Already evicted earlier in this pass to make room for a
                 # higher-priority request.
                 continue
-            if self.kv.try_allocate(request.request_id, 1) is None:
+            entry = decode_chunks.get(rid)
+            if entry is not None and entry[0].request is request:
+                chunk, table = entry
+                # Steady-state decode: the cached table is current (entries
+                # are invalidated whenever the request leaves running), so
+                # the one-token KV grow touches no dict at all.
+                if table.num_tokens < table.num_blocks * block_size:
+                    table.num_tokens += 1
+                    kv._used_tokens += 1
+                elif kv._used_blocks < kv._num_blocks:
+                    table.num_blocks += 1
+                    table.num_tokens += 1
+                    kv._used_blocks += 1
+                    kv._used_tokens += 1
+                else:
+                    if not self._make_room(request, 1, now):
+                        # No lower-priority victim exists: the request itself
+                        # is the lowest priority one, so it gets preempted
+                        # (vLLM's behaviour) rather than holding memory.
+                        self.memory_blocked = True
+                        self._preempt(request, now)
+                        evicted = True
+                        continue
+                    evicted = True
+                    if rid not in running_ids:
+                        continue
+                    kv.allocate(rid, 1)
+                beyond = request.prompt_tokens + request.output_tokens - request.prefill_target
+                chunk.prefix_tokens = request.prefill_progress + (beyond if beyond > 0 else 0)
+                chunk_append(chunk)
+                budget -= 1
+                continue
+            # First decode of this request since it (re-)entered running:
+            # inlined ``kv.append_token(rid)`` with the table looked up once.
+            table = tables.get(rid)
+            if table is not None and table.num_tokens < table.num_blocks * block_size:
+                table.num_tokens += 1
+                kv._used_tokens += 1
+            elif table is not None and kv._used_blocks < kv._num_blocks:
+                table.num_blocks += 1
+                table.num_tokens += 1
+                kv._used_blocks += 1
+                kv._used_tokens += 1
+            elif kv.append_token(rid) is None:
                 if not self._make_room(request, 1, now):
-                    # No lower-priority victim exists: the request itself is
-                    # the lowest priority one, so it gets preempted (vLLM's
-                    # behaviour) rather than silently holding memory.
                     self.memory_blocked = True
                     self._preempt(request, now)
+                    evicted = True
                     continue
-                if not self.is_running(request):
+                evicted = True
+                if rid not in running_ids:
                     continue
-                self.kv.allocate(request.request_id, 1)
-            batch.add(
-                ScheduledChunk(
-                    request=request,
-                    prefix_tokens=request.context_tokens,
-                    new_tokens=1,
-                    is_decode=True,
-                )
-            )
+                kv.allocate(rid, 1)
+            # Inlined ``request.context_tokens`` (prefix before this token).
+            beyond = request.prompt_tokens + request.output_tokens - request.prefill_target
+            prefix = request.prefill_progress + (beyond if beyond > 0 else 0)
+            chunk = ScheduledChunk(request, prefix, 1, True)
+            table = tables.get(rid)
+            decode_chunks[rid] = (chunk, table)
+            chunk_append(chunk)
             budget -= 1
         return budget
 
     def _schedule_running_prefills(self, batch: IterationBatch, budget: int, now: float) -> int:
+        # Inlined ``prefill_done`` / ``is_stalled``: this comprehension also
+        # visits every running request each iteration.
         candidates = [
             r
-            for r in self.running
-            if not r.prefill_done and not r.is_stalled(now)
+            for r in self._running_fcfs
+            if r.prefill_progress < r.prefill_target and now >= r.stall_until
         ]
-        candidates.sort(key=lambda r: (r.arrival_time, r.request_id))
         for request in candidates:
             if budget <= 0:
                 break
@@ -323,17 +428,21 @@ class ContinuousBatchingScheduler:
     def _pick_victim(self, exclude: Request) -> Optional[Request]:
         """Lowest-priority (latest-arrived) running request strictly behind
         ``exclude`` in FCFS order — a request is never evicted for the sake
-        of a lower-priority one."""
-        candidates = [
-            r
-            for r in self.running
-            if r is not exclude
-            and not r.finished
-            and (r.arrival_time, r.request_id) > (exclude.arrival_time, exclude.request_id)
-        ]
-        if not candidates:
-            return None
-        return max(candidates, key=lambda r: (r.arrival_time, r.request_id))
+        of a lower-priority one.
+
+        ``_running_fcfs`` is sorted by ``(arrival_time, request_id)`` and
+        that key is unique, so the victim is the last unfinished entry with
+        a key greater than ``exclude``'s; scanning from the tail finds it
+        without materialising and maxing a candidate list.
+        """
+        exclude_key = (exclude.arrival_time, exclude.request_id)
+        finished_state = RequestState.FINISHED
+        for r in reversed(self._running_fcfs):
+            if (r.arrival_time, r.request_id) <= exclude_key:
+                break
+            if r.state is not finished_state:
+                return r
+        return None
 
     def _preempt(self, victim: Request, now: float) -> None:
         if not self.is_running(victim):
@@ -383,15 +492,25 @@ class ContinuousBatchingScheduler:
         """Apply the effects of an executed batch; returns finished requests."""
         finished: List[Request] = []
         finished_ids: set[int] = set()
-        for chunk in batch:
+        finished_state = RequestState.FINISHED
+        for chunk in batch.chunks:
             request = chunk.request
             if chunk.is_decode:
-                request.record_output_token(end_time)
+                # Inlined ``request.record_output_token(end_time)``: one call
+                # per generated token of the whole simulation.
+                if request.first_token_time is None:
+                    request.first_token_time = end_time
+                tokens = request.output_tokens + 1
+                request.output_tokens = tokens
+                request.token_times.append(end_time)
+                if tokens >= request.max_output_tokens:
+                    request.state = finished_state
+                    request.finish_time = end_time
             else:
                 request.record_prefill(chunk.new_tokens, end_time)
-                if request.prefill_done and request.output_tokens == 0:
+                if request.output_tokens == 0 and request.prefill_progress >= request.prefill_target:
                     request.record_output_token(end_time)
-            if request.finished and request.request_id not in finished_ids:
+            if request.state is finished_state and request.request_id not in finished_ids:
                 finished.append(request)
                 finished_ids.add(request.request_id)
         for request in finished:

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockTable:
     """Block bookkeeping for a single request."""
 
@@ -133,6 +133,37 @@ class PagedKVCache:
             return None
         self._commit_allocation(request_id, extra, new_tokens)
         return extra
+
+    def append_token(self, request_id: int) -> Optional[int]:
+        """Fast path for ``try_allocate(request_id, 1)``.
+
+        One decode step appends exactly one token, and almost always into a
+        block that still has slack — the continuous-batching scheduler calls
+        this once per running request per iteration, making it the hottest
+        allocator entry point by two orders of magnitude.  Returns the number
+        of new blocks (0 or 1), or None when the cache is full, exactly as
+        ``try_allocate`` would.
+        """
+        table = self._tables.get(request_id)
+        if table is None:
+            if self._used_blocks >= self._num_blocks:
+                return None
+            table = BlockTable(request_id=request_id, num_blocks=1, num_tokens=1)
+            self._tables[request_id] = table
+            self._used_blocks += 1
+            self._used_tokens += 1
+            return 1
+        if table.num_tokens < table.num_blocks * self.block_size:
+            table.num_tokens += 1
+            self._used_tokens += 1
+            return 0
+        if self._used_blocks >= self._num_blocks:
+            return None
+        table.num_blocks += 1
+        table.num_tokens += 1
+        self._used_blocks += 1
+        self._used_tokens += 1
+        return 1
 
     def allocate(self, request_id: int, new_tokens: int) -> int:
         """Append ``new_tokens`` tokens to the request's KV cache.

@@ -8,16 +8,20 @@ region when executing a drop or restore plan.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, NamedTuple
 
 #: Default physical allocation granularity, matching CUDA VMM's 2 MiB.
 DEFAULT_CHUNK_BYTES = 2 * 1024 * 1024
 
 
-@dataclass(frozen=True)
-class PhysicalChunk:
-    """One physically-backed allocation of ``size_bytes`` bytes."""
+class PhysicalChunk(NamedTuple):
+    """One physically-backed allocation of ``size_bytes`` bytes.
+
+    A ``NamedTuple`` rather than a frozen dataclass: loading a model maps
+    tens of thousands of chunks, and the tuple constructor is an order of
+    magnitude cheaper than frozen-dataclass ``__init__``'s per-field
+    ``object.__setattr__`` while staying immutable and hashable.
+    """
 
     chunk_id: int
     size_bytes: int
@@ -88,11 +92,14 @@ class PhysicalMemoryPool:
                 f"out of GPU memory: need {needed} chunks "
                 f"({size_bytes} bytes), only {self.free_chunks} free"
             )
-        chunks = []
-        for _ in range(needed):
-            chunk = PhysicalChunk(chunk_id=next(self._counter), size_bytes=self.chunk_bytes)
-            self._allocated[chunk.chunk_id] = chunk
-            chunks.append(chunk)
+        # Bulk construction: model loads and drop/restore plans map tens of
+        # thousands of chunks in one call.
+        chunk_bytes = self.chunk_bytes
+        counter = self._counter
+        chunks = [
+            PhysicalChunk(next(counter), chunk_bytes) for _ in range(needed)
+        ]
+        self._allocated.update((chunk[0], chunk) for chunk in chunks)
         return chunks
 
     def free(self, chunks: List[PhysicalChunk]) -> None:

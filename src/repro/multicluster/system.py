@@ -59,7 +59,7 @@ class ClusterHandle:
     economics) is the contract new strategies can rely on.
     """
 
-    def __init__(self, index: int, system: ClusterServingSystem) -> None:
+    def __init__(self, index: int, system: Optional[ClusterServingSystem]) -> None:
         self.index = index
         self.system = system
         #: cleared by a chaos ``cluster_outage``; dead shards are invisible
@@ -134,10 +134,44 @@ class MultiClusterResult:
         return self.finished_requests / self.submitted_requests
 
 
+def summarize_records(
+    records: List[RequestRecord], throughput: float
+) -> Dict[str, float]:
+    """Tier-level summary over combined per-request records.
+
+    Percentiles are computed over the union of every shard's records;
+    ``throughput`` is the sum of the shards' bucket-mean token rates (the
+    single-cluster definition, summed — callers must add shard terms in
+    shard-index order so serial and parallel assembly agree bit-for-bit).
+    Module-level so the parallel shard executor (:mod:`repro.parallel`)
+    can assemble the identical summary from worker-returned records.
+    """
+    ttfts = [r.ttft for r in records if r.ttft is not None]
+    tpots = [r.mean_tpot for r in records if r.mean_tpot is not None]
+    return {
+        "requests": float(len(records)),
+        "finished": float(sum(1 for r in records if r.finished)),
+        "ttft_p50": percentile(ttfts, 50),
+        "ttft_p90": percentile(ttfts, 90),
+        "ttft_p99": percentile(ttfts, 99),
+        "tpot_p50": percentile(tpots, 50),
+        "tpot_p90": percentile(tpots, 90),
+        "tpot_p99": percentile(tpots, 99),
+        "throughput_tokens_per_s": throughput,
+    }
+
+
 class MultiClusterSystem:
     """N cluster shards, a global router, placement, and a WAN fabric."""
 
-    def __init__(self, config: ServingConfig, policy_factory: PolicyFactory) -> None:
+    def __init__(
+        self, config: ServingConfig, policy_factory: Optional[PolicyFactory]
+    ) -> None:
+        # ``policy_factory=None`` builds the tier in *plan* mode: handles
+        # are index-only stubs with no serving systems behind them, so the
+        # routing/fabric layer can be replayed standalone.  The parallel
+        # executor's dispatch planner uses this; every other caller passes
+        # a real factory.
         if config.multicluster is None:
             raise ValueError("ServingConfig.multicluster must be set")
         self.config = config
@@ -162,18 +196,18 @@ class MultiClusterSystem:
             admission=self.mc.admission,
             tick_interval_s=self.mc.tick_interval_s,
         )
+        self._fleet_config = fleet
         self.handles: List[ClusterHandle] = []
         for index in range(self.mc.num_clusters):
+            if policy_factory is None:
+                self.handles.append(ClusterHandle(index, None))
+                continue
             # Every shard is a full serving system on the shared loop, with
             # its own RNG streams (distinct seed offset per shard) and its
             # own fleet controller built from the tier's fleet settings.
-            sub_config = dataclasses.replace(
-                config,
-                multicluster=None,
-                fleet=fleet,
-                seed=config.seed + 1 + index,
+            system = ClusterServingSystem(
+                self.shard_config(index), policy_factory(), loop=self.loop
             )
-            system = ClusterServingSystem(sub_config, policy_factory(), loop=self.loop)
             self.handles.append(ClusterHandle(index, system))
         self._kv_token_bytes = kv_bytes_per_token(config.model)
         self._tick_process = PeriodicProcess(
@@ -229,6 +263,17 @@ class MultiClusterSystem:
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
+    def shard_config(self, index: int) -> ServingConfig:
+        """The ServingConfig one shard is built from (shared with the
+        parallel executor, which must construct bit-identical shards in
+        worker processes)."""
+        return dataclasses.replace(
+            self.config,
+            multicluster=None,
+            fleet=self._fleet_config,
+            seed=self.config.seed + 1 + index,
+        )
+
     @property
     def systems(self) -> List[ClusterServingSystem]:
         return [handle.system for handle in self.handles]
@@ -252,6 +297,17 @@ class MultiClusterSystem:
         if self.tracer is not None:
             self.tracer.on_submit(request)
         self._route(request)
+
+    def _dispatch(self, handle: ClusterHandle, request: Request) -> None:
+        """Hand a routed request to its shard.
+
+        Every tier-to-shard handoff funnels through here — the healthy
+        local/remote paths, migration adoption, and WAN delivery — so the
+        parallel executor's planner can override this single method to
+        record ``(time, shard, request)`` dispatches instead of executing
+        them.
+        """
+        handle.system.submit(request)
 
     def _route(self, request: Request) -> None:
         alive = self.alive_handles
@@ -287,7 +343,7 @@ class MultiClusterSystem:
             )
         if target.index == home:
             self.local_routed += 1
-            target.system.submit(request)
+            self._dispatch(target, request)
             return
         # Remote dispatch: the session's context (conservatively, the full
         # prompt's worth of KV — multi-turn prompts carry their history)
@@ -312,14 +368,14 @@ class MultiClusterSystem:
         adopted = self._session_adoptions.get(key)
         if adopted is not None and self.handles[adopted].alive:
             self.migration_hits += 1
-            self.handles[adopted].system.submit(request)
+            self._dispatch(self.handles[adopted], request)
             return
         home = self.home_cluster(request)
         if self.handles[home].alive:
             # A displaced request whose session is homed on an *alive*
             # cluster (it had been remote-dispatched to the dead one):
             # the home still holds the session context, go back local.
-            self.handles[home].system.submit(request)
+            self._dispatch(self.handles[home], request)
             return
         target = self.router.route(request, alive)
         self._session_adoptions[key] = target.index
@@ -360,7 +416,7 @@ class MultiClusterSystem:
             else:
                 self._lose(request)
             return
-        handle.system.submit(request)
+        self._dispatch(handle, request)
 
     def _lose(self, request: Request) -> None:
         self.lost_to_fault += 1
@@ -664,29 +720,12 @@ class MultiClusterSystem:
     # Reporting
     # ------------------------------------------------------------------
     def _summary(self, records: List[RequestRecord]) -> Dict[str, float]:
-        """Tier-level summary over the combined per-request records.
-
-        Percentiles are computed over the union of every shard's records;
-        throughput is the sum of the shards' bucket-mean token rates (the
-        single-cluster definition, summed).
-        """
-        ttfts = [r.ttft for r in records if r.ttft is not None]
-        tpots = [r.mean_tpot for r in records if r.mean_tpot is not None]
+        """Tier-level summary (see :func:`summarize_records`)."""
         throughput = sum(
             s.metrics.throughput.mean() / s.metrics.timeline_window_s
             for s in self.systems
         )
-        return {
-            "requests": float(len(records)),
-            "finished": float(sum(1 for r in records if r.finished)),
-            "ttft_p50": percentile(ttfts, 50),
-            "ttft_p90": percentile(ttfts, 90),
-            "ttft_p99": percentile(ttfts, 99),
-            "tpot_p50": percentile(tpots, 50),
-            "tpot_p90": percentile(tpots, 90),
-            "tpot_p99": percentile(tpots, 99),
-            "throughput_tokens_per_s": throughput,
-        }
+        return summarize_records(records, throughput)
 
     def stats(self) -> Dict[str, float]:
         """Tier counters plus the shard fleet counters, aggregated."""

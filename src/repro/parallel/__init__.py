@@ -1,0 +1,60 @@
+"""Conservative parallel shard execution for the multicluster tier.
+
+The multicluster tier simulates N cluster shards that interact only
+through a WAN fabric whose minimum propagation delay bounds how fast one
+shard can affect another — the classic conservative-PDES lookahead.  For
+configurations where the tier layer itself is state-independent (see
+:func:`parallel_ineligibility`), this package splits one tier run into a
+standalone **plan** phase (replay routing + WAN, record every shard
+dispatch) and an embarrassingly parallel **replay** phase (each shard in
+its own worker process, advancing through lookahead-bounded windows),
+reassembling a result that is bit-identical to the serial oracle.
+
+Entry point: set ``execution="parallel"`` on a
+:class:`~repro.multicluster.config.MultiClusterConfig` (or pass
+``--execution parallel`` to ``repro.multicluster``); ineligible
+configurations transparently fall back to serial with the reason recorded
+on the sweep's ``TierRun``.
+"""
+
+from repro.parallel.executor import (
+    PARALLEL_SAFE_ROUTERS,
+    ParallelOutcome,
+    ParallelReport,
+    ParallelTierView,
+    parallel_ineligibility,
+    run_parallel,
+)
+from repro.parallel.plan import DispatchPlanner, TierPlan, plan_tier
+from repro.parallel.shard import (
+    ARRIVAL_PRIORITY,
+    ShardResult,
+    ShardTask,
+    WindowRecord,
+    run_shard,
+)
+from repro.parallel.windows import (
+    LookaheadViolation,
+    tier_lookahead_s,
+    window_schedule,
+)
+
+__all__ = [
+    "ARRIVAL_PRIORITY",
+    "DispatchPlanner",
+    "LookaheadViolation",
+    "PARALLEL_SAFE_ROUTERS",
+    "ParallelOutcome",
+    "ParallelReport",
+    "ParallelTierView",
+    "ShardResult",
+    "ShardTask",
+    "TierPlan",
+    "WindowRecord",
+    "parallel_ineligibility",
+    "plan_tier",
+    "run_parallel",
+    "run_shard",
+    "tier_lookahead_s",
+    "window_schedule",
+]

@@ -1,0 +1,240 @@
+"""Parallel tier executor: plan, fan shards out, reassemble the result.
+
+:func:`run_parallel` is the coordinator for one multicluster tier run
+under the conservative protocol:
+
+1. **Eligibility.** :func:`parallel_ineligibility` checks that nothing in
+   the configuration couples shard state back into the tier layer; the
+   sweep fork (``repro.multicluster.sweep.run_tier``) calls it first and
+   falls back to serial — with the reason recorded — when it returns one.
+2. **Plan.** :func:`repro.parallel.plan.plan_tier` replays routing plus
+   the WAN fabric standalone and yields every shard's dispatch schedule.
+3. **Replay.** One :class:`~repro.parallel.shard.ShardTask` per shard is
+   submitted to the shared warm process pool
+   (:func:`repro.sweeps.shared_pool`); each worker advances its shard
+   through the lookahead-bounded window schedule.
+4. **Reassemble.** Records, throughput and stats are merged in the exact
+   order the serial :class:`~repro.multicluster.system.MultiClusterSystem`
+   produces them — shard-index order, then the planner's in-flight and
+   fault-lost requests — so the committed
+   :class:`~repro.multicluster.system.MultiClusterResult` is bit-identical
+   to serial execution (float summation order included).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional
+
+from repro.engine.metrics import RequestRecord
+from repro.multicluster.system import MultiClusterResult, summarize_records
+from repro.parallel.plan import TierPlan, plan_tier
+from repro.parallel.shard import ShardResult, ShardTask, run_shard
+from repro.parallel.windows import tier_lookahead_s, window_schedule
+from repro.serving.config import ServingConfig
+from repro.sweeps import effective_worker_count, shared_pool, shutdown_shared_pool
+from repro.workloads.trace import Workload
+
+#: Global routers whose decisions are pure functions of the request —
+#: the only ones the plan phase can replay without live shard state.
+PARALLEL_SAFE_ROUTERS = frozenset({"locality_affinity"})
+
+
+def parallel_ineligibility(
+    config: ServingConfig, *, trace: bool = False
+) -> Optional[str]:
+    """Why ``config`` cannot run under the conservative protocol, or None.
+
+    Each reason names a channel through which live shard state would feed
+    back into the tier layer (or vice versa), breaking the plan-then-replay
+    decomposition.  A non-None reason means the caller must run serially;
+    the sweep fork records the reason on the :class:`TierRun` so fallbacks
+    stay visible.
+    """
+    mc = config.multicluster
+    if mc is None:
+        return "no multicluster section: nothing to shard"
+    if mc.num_clusters < 2:
+        return "single shard: nothing to parallelise"
+    if mc.global_router not in PARALLEL_SAFE_ROUTERS:
+        return (
+            f"global router {mc.global_router!r} reads live shard state; "
+            "only " + ", ".join(sorted(PARALLEL_SAFE_ROUTERS)) + " is state-free"
+        )
+    if mc.cluster_autoscaler != "fixed":
+        return (
+            f"cluster_autoscaler {mc.cluster_autoscaler!r}: placement ticks "
+            "can donate capacity across shards, coupling their state"
+        )
+    if config.chaos:
+        return "chaos schedule present: faults couple tier and shard state"
+    if trace:
+        return "span tracing requested: the tracer observes cross-shard order"
+    if mc.wan_latency_s <= 0.0:
+        return "wan_latency_s is zero: the conservative protocol has no lookahead"
+    return None
+
+
+@dataclasses.dataclass
+class ParallelReport:
+    """How a parallel run executed (attached to the sweep's TierRun)."""
+
+    workers: int
+    window_s: float
+    lookahead_s: float
+    window_count: int
+    #: per-shard executed-event counts, shard-index order.
+    shard_events: List[int]
+    #: per-shard window traces (:class:`repro.parallel.shard.WindowRecord`),
+    #: consumed by the window-conservation invariant checks.
+    shard_windows: List[list]
+
+
+class ParallelTierView:
+    """Duck-types the slice of ``MultiClusterSystem`` the sweeps read.
+
+    ``run_multicluster_cell`` and ``run_chaos_cell`` consume the tier
+    system only through ``stats()``, ``initial_group_count()``,
+    ``recovery_transient_s()`` and ``tracer`` — this view answers those
+    from the planner's counters plus the per-shard worker results, in the
+    serial implementation's exact key order.
+    """
+
+    #: eligibility rejects traced runs, so a parallel view never has one.
+    tracer = None
+
+    def __init__(self, plan: TierPlan, shard_results: List[ShardResult]) -> None:
+        self._plan = plan
+        self._shard_results = shard_results
+
+    def initial_group_count(self) -> int:
+        return sum(result.initial_groups for result in self._shard_results)
+
+    def recovery_transient_s(self, records: List[RequestRecord]) -> float:
+        # Eligibility guarantees no chaos, hence no displacements; the
+        # serial implementation returns 0.0 in exactly that case.
+        return 0.0
+
+    def stats(self) -> Dict[str, float]:
+        planner = self._plan.planner
+        per_cluster = [result.fleet_stats for result in self._shard_results]
+        return {
+            "admitted": sum(s["admitted"] for s in per_cluster),
+            "shed": sum(s["shed"] for s in per_cluster),
+            "queue_peak": max(s["queue_peak"] for s in per_cluster),
+            "scale_up_events": sum(s["scale_up_events"] for s in per_cluster),
+            "scale_down_events": sum(s["scale_down_events"] for s in per_cluster),
+            "final_groups": sum(s["final_groups"] for s in per_cluster),
+            "local_routed": float(planner.local_routed),
+            "remote_routed": float(planner.remote_routed),
+            "remote_scale_ups": float(planner.remote_scale_ups),
+            "cross_cluster_bytes": float(planner.fabric.bytes_sent),
+            "cross_cluster_transfers": float(planner.fabric.transfers),
+            "rerouted": float(planner.rerouted),
+            "lost_to_fault": float(planner.lost_to_fault),
+            "migrated_sessions": float(planner.migrated_sessions),
+            "migration_hits": float(planner.migration_hits),
+            "migration_bytes": float(planner.migration_bytes),
+            "dispatch_bytes": float(planner.dispatch_bytes),
+            "instance_kills": float(planner.instance_kills),
+            "cluster_outages": float(planner.cluster_outages),
+            "wan_degrades": float(planner.wan_degrades),
+            "displaced": float(len(planner._displacements)),
+        }
+
+
+@dataclasses.dataclass
+class ParallelOutcome:
+    """Everything :func:`run_parallel` produces for the sweep fork."""
+
+    result: MultiClusterResult
+    view: ParallelTierView
+    report: ParallelReport
+
+
+def run_parallel(
+    config: ServingConfig,
+    policy_key: str,
+    workload: Workload,
+    *,
+    until: Optional[float] = None,
+    drain: bool = True,
+    max_workers: Optional[int] = None,
+    window_s: Optional[float] = None,
+) -> ParallelOutcome:
+    """Run one multicluster tier cell under the conservative protocol.
+
+    Raises ``ValueError`` (with the ineligibility reason) when the config
+    cannot be sharded safely — callers that want transparent fallback
+    should consult :func:`parallel_ineligibility` first, as the sweep
+    fork does.
+    """
+    reason = parallel_ineligibility(config)
+    if reason is not None:
+        raise ValueError(f"config not eligible for parallel execution: {reason}")
+    plan = plan_tier(config, workload, until=until, drain=drain)
+    mc = config.multicluster
+    lookahead = tier_lookahead_s(mc.wan_latency_s)
+    window = window_s if window_s is not None else lookahead
+    # Validate the schedule up front so a bad window fails before any
+    # worker is dispatched (run_shard recomputes the same schedule).
+    windows = window_schedule(plan.horizon, window, lookahead)
+    tasks = [
+        ShardTask(
+            shard_index=index,
+            config=plan.planner.shard_config(index),
+            policy_key=policy_key,
+            dispatches=tuple(plan.per_shard[index]),
+            horizon=plan.horizon,
+            window_s=window,
+            lookahead_s=lookahead,
+        )
+        for index in range(mc.num_clusters)
+    ]
+    workers = max_workers if max_workers is not None else effective_worker_count()
+    workers = max(1, min(workers, len(tasks)))
+    if workers <= 1:
+        shard_results = [run_shard(task) for task in tasks]
+    else:
+        pool = shared_pool(workers)
+        try:
+            shard_results = list(pool.map(run_shard, tasks))
+        except BrokenProcessPool:
+            # A worker died (OOM kill, signal). Rebuild the pool once and
+            # retry — shard replay is deterministic and side-effect free.
+            shutdown_shared_pool()
+            pool = shared_pool(workers)
+            shard_results = list(pool.map(run_shard, tasks))
+
+    # -- reassembly: serial record/summation order, to the bit ----------
+    records: List[RequestRecord] = []
+    for result in shard_results:
+        records.extend(result.records)
+    for request in plan.planner._in_flight.values():
+        records.append(RequestRecord.from_request(request))
+    for request in plan.planner._lost_requests:
+        records.append(RequestRecord.from_request(request))
+    finished = sum(1 for record in records if record.finished)
+    throughput = sum(result.throughput_term for result in shard_results)
+    result = MultiClusterResult(
+        system_name=shard_results[0].policy_name,
+        workload_name=workload.name,
+        records=records,
+        duration_s=plan.horizon,
+        submitted_requests=len(plan.requests),
+        finished_requests=finished,
+        summary=summarize_records(records, throughput),
+        cluster_stats=[dict(r.fleet_stats) for r in shard_results],
+    )
+    report = ParallelReport(
+        workers=workers,
+        window_s=window,
+        lookahead_s=lookahead,
+        window_count=len(windows),
+        shard_events=[r.events for r in shard_results],
+        shard_windows=[r.windows for r in shard_results],
+    )
+    return ParallelOutcome(
+        result=result, view=ParallelTierView(plan, shard_results), report=report
+    )

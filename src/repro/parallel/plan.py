@@ -1,0 +1,91 @@
+"""Tier plan phase: replay routing + WAN standalone, record dispatches.
+
+The eligible parallel configurations (see
+:func:`repro.parallel.executor.parallel_ineligibility`) have a key
+property: nothing the tier layer does depends on live shard state.  The
+global router is state-free (``locality_affinity`` hashes the session
+key), the placement tick is inert (``fixed`` autoscaler), and there are
+no faults.  The tier's half of the simulation — arrival routing plus the
+WAN fabric's fluid-flow bandwidth sharing — can therefore be replayed
+*standalone*, before any shard executes, and its output is exactly the
+per-shard dispatch schedule: for every request, the simulation time at
+which it is handed to its shard (arrival time when local, WAN delivery
+time when the context crossed the fabric first).
+
+:class:`DispatchPlanner` is a :class:`MultiClusterSystem` built in plan
+mode (no serving systems behind the handles) whose ``_dispatch`` override
+records ``(time, shard, request)`` instead of executing.  Because the
+fabric's transfer completion times depend only on the set of concurrent
+WAN transfers — all of which the plan itself creates — the recorded
+dispatch times equal the serial execution's to the bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.engine.request import Request
+from repro.multicluster.system import ClusterHandle, MultiClusterSystem
+from repro.serving.config import ServingConfig
+from repro.workloads.trace import Workload
+
+
+class DispatchPlanner(MultiClusterSystem):
+    """A multicluster tier that records shard dispatches instead of serving."""
+
+    def __init__(self, config: ServingConfig) -> None:
+        super().__init__(config, None)
+        #: ``(simulation time, shard index, request)`` in dispatch order.
+        self.dispatches: List[Tuple[float, int, Request]] = []
+
+    def _dispatch(self, handle: ClusterHandle, request: Request) -> None:
+        self.dispatches.append((self.loop.now, handle.index, request))
+
+
+@dataclasses.dataclass
+class TierPlan:
+    """The plan phase's output: who gets which request, and when."""
+
+    #: the planner itself — its routing/fabric counters and in-flight /
+    #: lost request books feed the assembled tier stats and records.
+    planner: DispatchPlanner
+    #: every materialised engine request, in workload (arrival) order.
+    requests: List[Request]
+    #: simulation horizon of the run (workload duration + drain).
+    horizon: float
+    #: per-shard ``(dispatch time, request)`` lists, dispatch-time order.
+    per_shard: List[List[Tuple[float, Request]]]
+
+
+def plan_tier(
+    config: ServingConfig,
+    workload: Workload,
+    *,
+    until: Optional[float] = None,
+    drain: bool = True,
+) -> TierPlan:
+    """Replay the tier layer of ``(config, workload)`` and plan dispatches.
+
+    The planner's loop carries only arrivals and WAN fabric events — the
+    controller tick and shard monitors are never started, which is safe
+    exactly because eligibility guarantees the tick is a no-op and the
+    monitors are shard-local.  Within one shard the recorded dispatch
+    order is identical to serial execution; times are bit-identical.
+    """
+    planner = DispatchPlanner(config)
+    requests = workload.to_engine_requests()
+    horizon = until
+    if horizon is None:
+        horizon = workload.duration + (config.drain_timeout_s if drain else 0.0)
+    for request in requests:
+        planner.submit_at(request, request.arrival_time)
+    planner.loop.run(until=horizon)
+    per_shard: List[List[Tuple[float, Request]]] = [
+        [] for _ in range(planner.mc.num_clusters)
+    ]
+    for time, shard, request in planner.dispatches:
+        per_shard[shard].append((time, request))
+    return TierPlan(
+        planner=planner, requests=requests, horizon=horizon, per_shard=per_shard
+    )

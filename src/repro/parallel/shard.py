@@ -1,0 +1,159 @@
+"""Worker-side shard replay: one cluster shard, windowed, in isolation.
+
+:func:`run_shard` is what the parallel executor submits to the shared
+warm worker pool (:func:`repro.sweeps.shared_pool`) — one call per shard.
+It rebuilds the shard's :class:`~repro.serving.system.ClusterServingSystem`
+from the same ``ServingConfig`` the serial tier would use (same seed
+offset, same fleet settings), then advances it through the conservative
+window schedule: before each window it injects every planned dispatch
+whose time falls inside the window, then runs the shard's private event
+loop up to the window boundary.  A dispatch that would have to land in
+the shard's past raises :class:`~repro.parallel.windows.LookaheadViolation`
+— the runtime conservation check that the plan respected the protocol.
+
+Determinism argument (why this is bit-identical to the serial run):
+
+* Shards share no state; within one shard, the relative order of its own
+  events is preserved whether they interleave with other shards' events
+  on a shared loop (serial) or run alone on a private loop (here) —
+  event seq numbers only break ties between *simultaneous* events, and
+  simultaneous events of one shard keep their relative seq order.
+* Arrivals are injected at event priority ``ARRIVAL_PRIORITY`` (−1).
+  Every event the simulator itself schedules uses priority 0, and in the
+  serial run the pre-scheduled arrival events hold the globally lowest
+  seq numbers — so a serial arrival executes before any simulator event
+  sharing its timestamp.  Priority −1 reproduces exactly that ordering
+  on the shard's private loop, and multiple injected arrivals at one
+  timestamp keep their plan order through injection seq order.
+* The one measure-zero caveat: a *WAN delivery* that lands on exactly
+  the same float timestamp as an unrelated shard event is ordered by
+  seq in serial (delivery scheduled mid-run, so after) but by priority
+  here (before).  Delivery times are sums of exponential arrival gaps,
+  propagation delay and fluid-flow transmission times — an exact float
+  collision does not occur in practice, and the bit-identity tests would
+  catch one if it ever did.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.metrics import RequestRecord
+from repro.engine.request import Request
+from repro.parallel.windows import LookaheadViolation, window_schedule
+from repro.policies import make_policy
+from repro.serving.config import ServingConfig
+from repro.serving.system import ClusterServingSystem
+from repro.simulation.event_loop import EventLoop
+
+#: Event priority used when injecting planned dispatches into a shard's
+#: loop.  All simulator-scheduled events use priority 0; −1 makes an
+#: injected arrival execute before any simulator event sharing its
+#: timestamp, which is exactly the order the serial run produces (its
+#: pre-scheduled arrival events hold the globally lowest seq numbers).
+ARRIVAL_PRIORITY = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to replay one shard."""
+
+    shard_index: int
+    config: ServingConfig
+    policy_key: str
+    #: planned ``(dispatch time, request)`` pairs, dispatch-time order.
+    dispatches: Tuple[Tuple[float, Request], ...]
+    horizon: float
+    window_s: float
+    lookahead_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowRecord:
+    """One executed window of one shard (the barrier-conservation trace)."""
+
+    start: float
+    end: float
+    injected: int
+    executed: int
+    #: dispatch-time extremes of the injected requests (None when none).
+    first_t: Optional[float]
+    last_t: Optional[float]
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """What a shard replay sends back to the coordinator."""
+
+    shard_index: int
+    policy_name: str
+    records: List[RequestRecord]
+    #: this shard's term of the tier throughput sum
+    #: (``metrics.throughput.mean() / metrics.timeline_window_s``).
+    throughput_term: float
+    fleet_stats: Dict[str, float]
+    initial_groups: int
+    events: int
+    windows: List[WindowRecord]
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Replay one shard through its window schedule (worker entry point)."""
+    loop = EventLoop()
+    system = ClusterServingSystem(task.config, make_policy(task.policy_key), loop=loop)
+    initial_groups = len(system.groups)
+    system.monitor.start()
+    system.fleet.start()
+    windows = window_schedule(task.horizon, task.window_s, task.lookahead_s)
+    dispatches = task.dispatches
+    pointer = 0
+    trace: List[WindowRecord] = []
+    for start, end in windows:
+        injected = 0
+        first_t: Optional[float] = None
+        last_t: Optional[float] = None
+        while pointer < len(dispatches) and dispatches[pointer][0] <= end:
+            time, request = dispatches[pointer]
+            if time < loop.now:
+                raise LookaheadViolation(
+                    f"shard {task.shard_index}: planned dispatch at t={time} "
+                    f"precedes the shard clock {loop.now} — the window "
+                    f"schedule violated the conservative bound"
+                )
+            loop.schedule_at(
+                time,
+                lambda r=request: system.submit(r),
+                priority=ARRIVAL_PRIORITY,
+                name="mc-arrival",
+            )
+            if first_t is None:
+                first_t = time
+            last_t = time
+            pointer += 1
+            injected += 1
+        executed = loop.run(until=end)
+        trace.append(
+            WindowRecord(
+                start=start,
+                end=end,
+                injected=injected,
+                executed=executed,
+                first_t=first_t,
+                last_t=last_t,
+            )
+        )
+    system.monitor.stop()
+    system.fleet.stop()
+    system._finalize_unfinished()
+    metrics = system.metrics
+    return ShardResult(
+        shard_index=task.shard_index,
+        policy_name=system.policy.name,
+        records=list(metrics.records),
+        throughput_term=metrics.throughput.mean() / metrics.timeline_window_s,
+        fleet_stats=system.fleet.stats(),
+        initial_groups=initial_groups,
+        events=loop.events_executed,
+        windows=trace,
+    )

@@ -41,7 +41,15 @@ def _thinning(
     max_rate: float,
     rng: SeededRNG,
 ) -> List[float]:
-    """Lewis-Shedler thinning sampler for a bounded-rate Poisson process."""
+    """Lewis-Shedler thinning sampler for a bounded-rate Poisson process.
+
+    Deliberately scalar: the candidate-gap exponential and the acceptance
+    uniform alternate draws from one RNG stream, so a blocked (vectorised)
+    sampler would consume the stream in a different order and produce a
+    different — non-reproducible — trace for the same seed.  Length
+    sampling (``repro.workloads.datasets.sample_lengths``) is the
+    vectorised half of workload generation; arrival thinning stays exact.
+    """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
     if max_rate <= 0:

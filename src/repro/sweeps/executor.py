@@ -45,6 +45,7 @@ DEFAULT_PRELOAD: Tuple[str, ...] = (
     "repro.fleet.sweep",
     "repro.multicluster.sweep",
     "repro.chaos.sweep",
+    "repro.parallel.shard",
 )
 
 

@@ -11,9 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-import numpy as np
+try:  # numpy is optional here: every vectorised path keeps a pure-python twin
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via _force_python_paths
+    np = None  # type: ignore[assignment]
 
 from repro.engine.request import Request
+
+#: Vectorisation cut-over: below this many timestamps the numpy round-trip
+#: (asarray + tolist) costs more than the plain-python path it replaces.
+_VECTORIZE_MIN = 512
 
 
 @dataclass
@@ -24,9 +31,18 @@ class ArrivalTrace:
     name: str = "trace"
 
     def __post_init__(self) -> None:
-        self.timestamps = sorted(float(t) for t in self.timestamps)
-        if any(t < 0 for t in self.timestamps):
-            raise ValueError("arrival times must be non-negative")
+        if np is not None and len(self.timestamps) >= _VECTORIZE_MIN:
+            # Bit-identical to the python path: float64 conversion and
+            # ascending sort commute with tolist(), and IEEE sorting of the
+            # same values yields the same order (ties are identical values).
+            array = np.sort(np.asarray(self.timestamps, dtype=np.float64))
+            if array.size and array[0] < 0:
+                raise ValueError("arrival times must be non-negative")
+            self.timestamps = array.tolist()
+        else:
+            self.timestamps = sorted(float(t) for t in self.timestamps)
+            if any(t < 0 for t in self.timestamps):
+                raise ValueError("arrival times must be non-negative")
 
     def __len__(self) -> int:
         return len(self.timestamps)
@@ -56,6 +72,17 @@ class ArrivalTrace:
             raise ValueError("window_s must be positive")
         if not self.timestamps:
             return []
+        if np is not None and len(self.timestamps) >= _VECTORIZE_MIN:
+            # Same buckets as the python path: ``int(t // window_s)`` and
+            # float64 floor-division agree for non-negative timestamps.
+            indices = np.floor_divide(
+                np.asarray(self.timestamps, dtype=np.float64), window_s
+            ).astype(np.int64)
+            buckets_arr, counts = np.unique(indices, return_counts=True)
+            return [
+                (int(bucket) * window_s, int(count) / window_s)
+                for bucket, count in zip(buckets_arr.tolist(), counts.tolist())
+            ]
         buckets: dict = {}
         for t in self.timestamps:
             buckets[int(t // window_s)] = buckets.get(int(t // window_s), 0) + 1

@@ -93,6 +93,8 @@ class TestSchema:
             "serve",
             "sweep_cache",
             "trace_overhead",
+            "event_core",
+            "parallel_shards",
         }
 
 

@@ -39,7 +39,7 @@ class TestCompare:
         base = write(tmp_path, "a.json", document({("figure2", "-"): 10.0}))
         curr = write(tmp_path, "b.json", document({("figure2", "-"): 11.0}))
         assert bench_compare.main([str(base), str(curr), "--threshold", "25"]) == 0
-        assert "no wall-clock regressions" in capsys.readouterr().out
+        assert "no regressions" in capsys.readouterr().out
 
     def test_regression_beyond_threshold_fails(self, tmp_path, capsys):
         base = write(tmp_path, "a.json", document({("figure2", "-"): 10.0}))
@@ -82,6 +82,47 @@ class TestCompare:
             document({("policy:x", "vllm"): 1.1, ("policy:x", "kunserve"): 5.0}),
         )
         assert bench_compare.main([str(base), str(curr), "--threshold", "50"]) == 1
+
+    def test_events_per_s_drop_beyond_threshold_fails(self, tmp_path, capsys):
+        # Wall time fine, dispatch throughput halved: the events gate fires.
+        def entry(eps):
+            return {
+                "experiment": "event_core", "policy": None, "wall_s": 1.0,
+                "events": 100000, "events_per_s": eps,
+            }
+
+        base = write(tmp_path, "a.json", {"entries": [entry(600000.0)]})
+        curr = write(tmp_path, "b.json", {"entries": [entry(300000.0)]})
+        assert bench_compare.main([str(base), str(curr)]) == 1
+        assert "events/s" in capsys.readouterr().err
+
+    def test_events_per_s_drop_within_threshold_passes(self, tmp_path):
+        def entry(eps):
+            return {
+                "experiment": "event_core", "policy": None, "wall_s": 1.0,
+                "events": 100000, "events_per_s": eps,
+            }
+
+        base = write(tmp_path, "a.json", {"entries": [entry(600000.0)]})
+        curr = write(tmp_path, "b.json", {"entries": [entry(500000.0)]})
+        assert bench_compare.main([str(base), str(curr)]) == 0
+
+    def test_events_gate_skips_zero_event_and_short_entries(self, tmp_path):
+        # Rows with no events (analytic tables) or sub-noise-floor baseline
+        # walls must never trip the throughput gate.
+        base = write(tmp_path, "a.json", {"entries": [
+            {"experiment": "table1", "policy": None, "wall_s": 1.0,
+             "events": 0, "events_per_s": 0.0},
+            {"experiment": "tiny", "policy": None, "wall_s": 0.01,
+             "events": 100, "events_per_s": 10000.0},
+        ]})
+        curr = write(tmp_path, "b.json", {"entries": [
+            {"experiment": "table1", "policy": None, "wall_s": 1.0,
+             "events": 0, "events_per_s": 0.0},
+            {"experiment": "tiny", "policy": None, "wall_s": 0.01,
+             "events": 100, "events_per_s": 100.0},
+        ]})
+        assert bench_compare.main([str(base), str(curr)]) == 0
 
     def test_unreadable_input_is_a_usage_error(self, tmp_path):
         good = write(tmp_path, "a.json", document({}))

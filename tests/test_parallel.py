@@ -1,0 +1,295 @@
+"""Tests for conservative parallel shard execution (``repro.parallel``).
+
+The contract under test is absolute: for every eligible configuration,
+parallel execution is **bit-identical** to the serial oracle — same
+records, same summary, same tier stats, same duration — whether shards
+replay inline (one worker) or in the shared process pool.  Around that
+core sit the window-schedule arithmetic, the :class:`LookaheadViolation`
+guards (window > lookahead, zero WAN latency, past injection), the
+eligibility/fallback reasons (the whole committed multicluster/chaos
+grid uses the elastic autoscaler and must fall back serially with the
+reason recorded), the execution-axis config validation, and the
+window-barrier conservation invariant over a real parallel run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from invariants import assert_window_conservation
+from repro.chaos.sweep import run_chaos_cell
+from repro.experiments.runner import ExperimentScale
+from repro.multicluster.config import (
+    EXECUTION_MODES,
+    make_multicluster_config,
+)
+from repro.multicluster.sweep import SWEEP_ADMISSION, run_tier, tier_workload_scale
+from repro.parallel import (
+    LookaheadViolation,
+    parallel_ineligibility,
+    plan_tier,
+    run_parallel,
+    tier_lookahead_s,
+    window_schedule,
+)
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.sweep import build_cell_config
+
+SCALE = ExperimentScale(
+    name="parallel-test",
+    num_instances=2,
+    trace_duration_s=6.0,
+    drain_timeout_s=8.0,
+)
+
+SPEC = get_scenario("steady-poisson")
+
+
+def eligible_config(execution="serial", *, clusters=4, seed=42, **overrides):
+    """A 4-shard locality/fixed-autoscaler cell the protocol can shard."""
+    config = build_cell_config(SPEC, SCALE, seed=seed)
+    config.multicluster = make_multicluster_config(
+        num_clusters=clusters,
+        global_router="locality_affinity",
+        placement="spare_capacity_first",
+        cluster_autoscaler="fixed",
+        admission=SWEEP_ADMISSION,
+        execution=execution,
+        **overrides,
+    )
+    return config
+
+
+def run_digest(run):
+    """Everything a tier run commits, minus wall-clock."""
+    result = run.result
+    return {
+        "records": [
+            (r.ttft, r.mean_tpot, r.finished, r.arrival_time) for r in result.records
+        ],
+        "summary": result.summary,
+        "stats": run.system.stats(),
+        "duration_s": result.duration_s,
+        "submitted": result.submitted_requests,
+        "finished": result.finished_requests,
+        "system_name": result.system_name,
+        "workload_name": result.workload_name,
+        "initial_groups": run.initial_groups,
+        "cluster_stats": result.cluster_stats,
+    }
+
+
+class TestWindowSchedule:
+    def test_windows_tile_the_horizon_contiguously(self):
+        windows = window_schedule(1.0, 0.03, 0.03)
+        assert windows[0][0] == 0.0
+        assert windows[-1][1] == 1.0
+        for (_, prev_end), (start, _) in zip(windows, windows[1:]):
+            assert start == prev_end
+
+    def test_last_window_is_clamped_to_the_horizon(self):
+        windows = window_schedule(0.10, 0.03, 0.03)
+        assert windows[-1] == (pytest.approx(0.09), 0.10)
+        assert all(end - start <= 0.03 + 1e-12 for start, end in windows)
+
+    def test_boundaries_are_multiples_not_accumulated(self):
+        # 10_000 windows of 0.03: accumulation would drift; multiples don't.
+        windows = window_schedule(300.0, 0.03, 0.03)
+        assert windows[9999][1] == 10_000 * 0.03
+
+    def test_window_longer_than_lookahead_is_a_violation(self):
+        with pytest.raises(LookaheadViolation):
+            window_schedule(1.0, 0.05, 0.03)
+
+    def test_zero_wan_latency_offers_no_lookahead(self):
+        with pytest.raises(LookaheadViolation):
+            tier_lookahead_s(0.0)
+        assert tier_lookahead_s(0.030) == 0.030
+
+    def test_degenerate_horizon_and_window_are_rejected(self):
+        with pytest.raises(ValueError):
+            window_schedule(0.0, 0.03, 0.03)
+        with pytest.raises(ValueError):
+            window_schedule(1.0, 0.0, 0.03)
+
+
+class TestEligibility:
+    def test_eligible_config_has_no_reason(self):
+        assert parallel_ineligibility(eligible_config()) is None
+
+    def test_stateful_router_is_ineligible(self):
+        config = eligible_config()
+        config.multicluster = dataclasses.replace(
+            config.multicluster, global_router="least_loaded_cluster"
+        )
+        assert "router" in parallel_ineligibility(config)
+
+    def test_elastic_autoscaler_is_ineligible(self):
+        config = eligible_config()
+        config.multicluster = dataclasses.replace(
+            config.multicluster, cluster_autoscaler="elastic"
+        )
+        assert "autoscaler" in parallel_ineligibility(config)
+
+    def test_single_cluster_and_missing_tier_are_ineligible(self):
+        assert "shard" in parallel_ineligibility(eligible_config(clusters=1))
+        config = eligible_config()
+        config.multicluster = None
+        assert "multicluster" in parallel_ineligibility(config)
+
+    def test_trace_and_zero_latency_are_ineligible(self):
+        assert "tracing" in parallel_ineligibility(eligible_config(), trace=True)
+        config = eligible_config()
+        config.multicluster = dataclasses.replace(
+            config.multicluster, wan_latency_s=0.0
+        )
+        assert "lookahead" in parallel_ineligibility(config)
+
+    def test_run_parallel_rejects_ineligible_configs(self):
+        config = eligible_config()
+        config.multicluster = dataclasses.replace(
+            config.multicluster, cluster_autoscaler="elastic"
+        )
+        workload = SPEC.build_workload(tier_workload_scale(SCALE, 4), 42)
+        with pytest.raises(ValueError, match="not eligible"):
+            run_parallel(config, "vllm", workload)
+
+
+class TestExecutionAxis:
+    def test_execution_modes_are_validated(self):
+        assert EXECUTION_MODES == ("serial", "parallel")
+        with pytest.raises(ValueError, match="execution"):
+            make_multicluster_config(execution="speculative")
+
+    def test_default_execution_is_serial(self):
+        assert make_multicluster_config().execution == "serial"
+
+
+class TestBitIdentity:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_digest(run_tier(SPEC, "vllm", eligible_config("serial"), SCALE, 42))
+
+    def test_parallel_inline_matches_serial_bit_for_bit(self, serial):
+        run = run_tier(SPEC, "vllm", eligible_config("parallel"), SCALE, 42)
+        assert run.parallel is not None, run.parallel_fallback
+        assert run.parallel_fallback is None
+        assert run_digest(run) == serial
+
+    def test_parallel_pool_two_workers_matches_serial(self, serial):
+        config = eligible_config("parallel")
+        workload = SPEC.build_workload(tier_workload_scale(SCALE, 4), 42)
+        outcome = run_parallel(config, "vllm", workload, max_workers=2)
+        assert outcome.report.workers == 2
+        result = outcome.result
+        digest = {
+            "records": [
+                (r.ttft, r.mean_tpot, r.finished, r.arrival_time)
+                for r in result.records
+            ],
+            "summary": result.summary,
+            "stats": outcome.view.stats(),
+            "duration_s": result.duration_s,
+            "submitted": result.submitted_requests,
+            "finished": result.finished_requests,
+            "system_name": result.system_name,
+            "workload_name": result.workload_name,
+            "initial_groups": outcome.view.initial_group_count(),
+            "cluster_stats": result.cluster_stats,
+        }
+        assert digest == serial
+
+    def test_windows_respect_conservation(self):
+        run = run_tier(SPEC, "vllm", eligible_config("parallel"), SCALE, 42)
+        assert run.parallel is not None
+        assert run.parallel.window_s <= run.parallel.lookahead_s
+        assert assert_window_conservation(run.parallel) > 0
+
+    def test_smaller_windows_change_nothing(self, serial):
+        config = eligible_config("parallel")
+        workload = SPEC.build_workload(tier_workload_scale(SCALE, 4), 42)
+        outcome = run_parallel(config, "vllm", workload, window_s=0.010)
+        assert outcome.result.summary == serial["summary"]
+        assert [
+            (r.ttft, r.mean_tpot, r.finished, r.arrival_time)
+            for r in outcome.result.records
+        ] == serial["records"]
+
+    def test_oversized_window_raises_before_any_shard_runs(self):
+        config = eligible_config("parallel")
+        workload = SPEC.build_workload(tier_workload_scale(SCALE, 4), 42)
+        with pytest.raises(LookaheadViolation):
+            run_parallel(config, "vllm", workload, window_s=1.0)
+
+
+class TestFallback:
+    def test_elastic_grid_cell_falls_back_with_reason(self):
+        # The committed sweep grids use the elastic autoscaler: requesting
+        # parallel must silently produce the serial result, reason recorded.
+        config = eligible_config("parallel")
+        config.multicluster = dataclasses.replace(
+            config.multicluster, cluster_autoscaler="elastic"
+        )
+        run = run_tier(SPEC, "vllm", config, SCALE, 42)
+        assert run.parallel is None
+        assert "autoscaler" in run.parallel_fallback
+
+        serial_config = eligible_config("serial")
+        serial_config.multicluster = dataclasses.replace(
+            serial_config.multicluster, cluster_autoscaler="elastic"
+        )
+        serial = run_tier(SPEC, "vllm", serial_config, SCALE, 42)
+        assert run_digest(run) == run_digest(serial)
+
+    def test_chaos_cell_is_identical_across_execution_modes(self):
+        # Chaos cells are ineligible (fault schedules); the execution axis
+        # must not perturb their payloads in any way.
+        chaos_scale = ExperimentScale(
+            name="parallel-chaos-test",
+            num_instances=2,
+            trace_duration_s=6.0,
+            drain_timeout_s=8.0,
+        )
+        serial = run_chaos_cell(
+            "steady-poisson", "vllm", "cluster-outage", "sticky", chaos_scale,
+            seed=7, execution="serial",
+        )
+        parallel = run_chaos_cell(
+            "steady-poisson", "vllm", "cluster-outage", "sticky", chaos_scale,
+            seed=7, execution="parallel",
+        )
+        scrub = lambda cell: {
+            k: v for k, v in dataclasses.asdict(cell).items() if k != "wall_s"
+        }
+        assert scrub(serial) == scrub(parallel)
+
+
+class TestPlan:
+    def test_plan_dispatch_times_are_sorted_per_shard(self):
+        plan = plan_tier(
+            eligible_config(), SPEC.build_workload(tier_workload_scale(SCALE, 4), 42)
+        )
+        assert sum(len(shard) for shard in plan.per_shard) == len(plan.planner.dispatches)
+        for shard in plan.per_shard:
+            times = [t for t, _ in shard]
+            assert times == sorted(times)
+
+    def test_remote_dispatches_pay_the_wan_delay(self):
+        config = eligible_config()
+        plan = plan_tier(
+            config, SPEC.build_workload(tier_workload_scale(SCALE, 4), 42)
+        )
+        wan = config.multicluster.wan_latency_s
+        remote = 0
+        by_request = {}
+        for time, shard, request in plan.planner.dispatches:
+            by_request[request.request_id] = (time, request)
+        for time, request in by_request.values():
+            if time > request.arrival_time:
+                remote += 1
+                assert time >= request.arrival_time + wan
+        # locality_affinity still routes cross-cluster when a session's
+        # home differs from its arrival point; the planner must model it.
+        assert plan.planner.remote_routed == remote
