@@ -15,8 +15,13 @@ most of all) against dispatch-path slowdowns that wall-clock thresholds
 on small rows would miss.  Entries are matched by their
 ``(experiment, policy)`` identity; entries present on only one side are
 reported but never fail the comparison (new benchmarks appear, old ones
-retire).  Stdlib-only on purpose, so it runs anywhere a checkout exists
-(CI included) without ``PYTHONPATH`` setup.
+retire).  Entries carrying a ``profile`` block (the task-level resource
+profile recorded by the sweep executor, see ``repro.obs.profile``)
+additionally get a peak-RSS delta column — reported, *never* gated:
+memory high-watermarks are process-cumulative and host-dependent, so
+they inform a reviewer rather than fail a build.  Stdlib-only on
+purpose, so it runs anywhere a checkout exists (CI included) without
+``PYTHONPATH`` setup.
 """
 
 from __future__ import annotations
@@ -56,7 +61,7 @@ def compare(
     regressions: List[str] = []
     header = (
         f"{'experiment':<20} {'policy':<12} {'base_s':>8} {'curr_s':>8} "
-        f"{'delta':>8} {'ev/s':>9}"
+        f"{'delta':>8} {'ev/s':>9} {'rss':>10}"
     )
     lines.append(header)
     for key in sorted(set(baseline) | set(current)):
@@ -99,9 +104,27 @@ def compare(
                 )
         lines.append(
             f"{experiment:<20} {policy:<12} {base_s:>8.2f} {curr_s:>8.2f} "
-            f"{delta_pct:>+7.1f}% {-eps_drop_pct:>+8.1f}%{marker}"
+            f"{delta_pct:>+7.1f}% {-eps_drop_pct:>+8.1f}% {_rss_delta(base, curr):>10}"
+            f"{marker}"
         )
     return lines, regressions
+
+
+def _rss_delta(base: dict, curr: dict) -> str:
+    """Peak-RSS delta of the two entries' profile blocks, for the report.
+
+    Informational only — a memory shift is worth a look but never fails
+    the comparison: ``ru_maxrss`` is the *process* high-watermark, so
+    later rows inherit earlier rows' peaks and absolute values depend on
+    the host allocator.  Returns ``"-"`` when either side predates the
+    profiler.
+    """
+    base_kb = (base.get("profile") or {}).get("peak_rss_kb")
+    curr_kb = (curr.get("profile") or {}).get("peak_rss_kb")
+    if not base_kb or curr_kb is None:
+        return "-"
+    delta_pct = 100.0 * (float(curr_kb) - float(base_kb)) / float(base_kb)
+    return f"{delta_pct:+.1f}%"
 
 
 def main(argv=None) -> int:

@@ -630,7 +630,16 @@ def run_benchmarks(
             )
     # Inline, uncached: benchmark rows measure host time on this machine.
     outcome = run_tasks(tasks, max_workers=1, cache=None)
-    entries = [entry for payload in outcome.results for entry in payload["entries"]]
+    entries = []
+    for payload in outcome.results:
+        for entry in payload["entries"]:
+            if "profile" in payload:
+                # The task-level resource profile (wall/CPU/peak RSS, see
+                # repro.obs.profile) recorded by the sweep executor.  A
+                # multi-entry task (the policy suite) shares one profile
+                # across its entries — it measures the task, not the row.
+                entry["profile"] = payload["profile"]
+            entries.append(entry)
     return {
         "schema_version": 1,
         "repro_version": __version__,

@@ -50,6 +50,11 @@ scenario+fleet sweep run twice through the ``.repro_cache/`` result
 cache; the ``parallel_shards`` row adds ``shards`` / ``workers`` /
 ``cpu_count`` / ``serial_wall_s`` / ``parallel_wall_s`` / ``speedup`` /
 ``identical`` (1.0 iff serial and parallel runs matched to the bit).
+Every entry additionally carries a ``profile`` block — the task-level
+resource profile (``wall_s`` / ``cpu_s`` / ``peak_rss_kb`` / ``events``
+/ ``events_per_s`` / ``sim_s``) recorded by the sweep executor (see
+:mod:`repro.obs.profile`); ``scripts/bench_compare.py`` reports (but
+never gates on) its peak-RSS deltas.
 """
 
 from __future__ import annotations

@@ -109,6 +109,13 @@ def main(argv=None) -> int:
         "a stage_breakdown block (per-stage latency attribution) to each entry; "
         "with --metrics-out, also streams the stage-duration histogram",
     )
+    parser.add_argument(
+        "--alerts",
+        action="store_true",
+        help="replay the default alert-rule pack (repro.obs) over every cell's "
+        "metric stream and add an alerts block (firing/resolved timeline) to "
+        "each entry",
+    )
     add_cache_arguments(parser)
     parser.add_argument(
         "--list-faults",
@@ -161,6 +168,7 @@ def main(argv=None) -> int:
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
             trace=args.trace,
+            alerts=args.alerts,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)

@@ -117,8 +117,10 @@ DOCUMENT_KEYS = (
 #: the validator, so documents written before they existed stay valid.
 #: ``trace`` records whether the sweep ran with ``--trace``; traced
 #: entries additionally carry an optional ``stage_breakdown`` block (the
-#: per-stage latency attribution from :mod:`repro.trace`).
-OPTIONAL_DOCUMENT_KEYS = ("cache_hits", "cache_misses", "trace")
+#: per-stage latency attribution from :mod:`repro.trace`).  ``alerts``
+#: records whether the sweep ran with ``--alerts``; alert entries carry
+#: an optional ``alerts`` block (see :mod:`repro.obs.schema`).
+OPTIONAL_DOCUMENT_KEYS = ("cache_hits", "cache_misses", "trace", "alerts")
 
 #: Keys every entry must carry (the stable contract).
 ENTRY_KEYS = (

@@ -139,6 +139,9 @@ class ChaosCellResult:
     #: per-stage latency attribution (``--trace`` cells only; ``None``
     #: when the cell ran untraced or with a disabled tracer).
     stage_breakdown: Optional[Dict[str, Any]] = None
+    #: alert timeline block (``--alerts`` cells only; see
+    #: :mod:`repro.obs.schema`).
+    alerts: Optional[Dict[str, Any]] = None
 
 
 def run_chaos_cell(
@@ -151,6 +154,7 @@ def run_chaos_cell(
     trace: Union[bool, str] = False,
     on_tracer=None,
     execution: str = "serial",
+    alerts: bool = False,
 ) -> ChaosCellResult:
     """Run one scenario through one (policy, faults, migration)
     combination; the in-process cell primitive.
@@ -164,9 +168,17 @@ def run_chaos_cell(
     executor; chaos cells with fault schedules (and any cell using the
     default elastic autoscaler) are ineligible and transparently run
     serially, with the reason recorded on the underlying ``TierRun``.
+
+    ``alerts=True`` attaches an in-memory metrics monitor, replays the
+    :func:`repro.obs.default_rule_pack` over the recorded scrape stream,
+    and fills the result's ``alerts`` block.  The monitor needs the
+    in-process system, so alert cells always run serially (the
+    executions are bit-identical by contract, so nothing is lost).
     """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     schedule = cell_schedule(faults, scale, seed)
+    if alerts:
+        execution = "serial"
     config = build_cell_config(spec, scale, seed=seed)
     config.multicluster = make_multicluster_config(
         num_clusters=CHAOS_CLUSTER_COUNT,
@@ -177,8 +189,22 @@ def run_chaos_cell(
         execution=execution,
     )
     config.chaos = schedule if schedule else None
-    run = run_tier(spec, policy_key, config, scale, seed, trace=trace, on_tracer=on_tracer)
+    chunks: List[Tuple[str, float]] = []
+    on_system = None
+    if alerts:
+        def on_system(system):
+            system.attach_metrics(callback=lambda text, now: chunks.append((text, now)))
+
+    run = run_tier(
+        spec, policy_key, config, scale, seed,
+        trace=trace, on_tracer=on_tracer, on_system=on_system,
+    )
     result = run.result
+    alerts_block = None
+    if alerts:
+        from repro.obs import evaluate_monitor_chunks
+
+        alerts_block = evaluate_monitor_chunks(chunks)
     stage_breakdown = None
     tracer = run.system.tracer
     if tracer is not None and tracer.enabled:
@@ -205,6 +231,7 @@ def run_chaos_cell(
         latencies=tuple((r.ttft, r.mean_tpot) for r in result.records),
         wall_s=run.wall_s,
         stage_breakdown=stage_breakdown,
+        alerts=alerts_block,
     )
 
 
@@ -265,6 +292,7 @@ def run_chaos_cell_payload(params: Mapping[str, Any], seed: int) -> Dict[str, An
         seed,
         trace=params.get("trace", False),
         execution=params.get("execution", "serial"),
+        alerts=params.get("alerts", False),
     )
     return dataclasses.asdict(cell)
 
@@ -278,6 +306,7 @@ def chaos_cell_task(
     seed: int,
     trace: bool = False,
     execution: str = "serial",
+    alerts: bool = False,
 ) -> SweepTask:
     """Describe one chaos grid cell as a cacheable sweep task."""
     mc = make_multicluster_config(
@@ -322,6 +351,10 @@ def chaos_cell_task(
         # valid (and bit-identical) whether or not tracing exists.
         params["trace"] = True
         key["trace"] = True
+    if alerts:
+        # Same opt-in pattern: only alert cells key on the axis.
+        params["alerts"] = True
+        key["alerts"] = True
     return SweepTask(
         runner="repro.chaos.sweep:run_chaos_cell_payload",
         params=params,
@@ -408,6 +441,8 @@ def _scenario_entries(
         )
         if cell.get("stage_breakdown"):
             entries[-1]["stage_breakdown"] = cell["stage_breakdown"]
+        if cell.get("alerts"):
+            entries[-1]["alerts"] = cell["alerts"]
     return entries
 
 
@@ -424,6 +459,7 @@ def run_chaos_sweep(
     cache_dir: Optional[Path] = None,
     trace: bool = False,
     execution: str = "serial",
+    alerts: bool = False,
 ) -> Dict:
     """Sweep the scenario × policy × faults × migration grid.
 
@@ -449,6 +485,11 @@ def run_chaos_sweep(
         trace: attach a per-request span tracer to every cell and add a
             ``stage_breakdown`` block (per-stage latency attribution) to
             each entry.  Traced cells cache under a distinct key.
+        alerts: attach an in-memory metrics monitor to every cell,
+            replay the default alert-rule pack over its scrape stream,
+            and add an ``alerts`` block (firing/resolved timeline) to
+            each entry.  Alert cells cache under a distinct key and run
+            serially; cells without the axis stay bit-identical.
     """
     names = list(scenarios) if scenarios is not None else list(DEFAULT_SCENARIOS)
     policy_keys = list(policies) if policies is not None else list(DEFAULT_POLICIES)
@@ -477,7 +518,8 @@ def run_chaos_sweep(
     specs = [get_scenario(name) for name in names]
     tasks = [
         chaos_cell_task(
-            spec, policy, fault, migration, scale, seed, trace=trace, execution=execution
+            spec, policy, fault, migration, scale, seed,
+            trace=trace, execution=execution, alerts=alerts,
         )
         for spec in specs
         for policy in policy_keys
@@ -515,6 +557,9 @@ def run_chaos_sweep(
         "router": CHAOS_ROUTER,
         "placement": CHAOS_PLACEMENT,
         "trace": bool(trace),
+        # Only present when the opt-in axis was enabled: plain documents
+        # keep their pre-alerts byte shape (no schema version bump).
+        **({"alerts": True} if alerts else {}),
         "entries": entries,
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,

@@ -108,6 +108,13 @@ def main(argv=None) -> int:
         help="additionally replay the first grid cell inline, streaming live "
         "Prometheus text scrapes to FILE",
     )
+    parser.add_argument(
+        "--alerts",
+        action="store_true",
+        help="replay the default alert-rule pack (repro.obs) over every cell's "
+        "metric stream and add an alerts block (firing/resolved timeline) to "
+        "each entry",
+    )
     add_cache_arguments(parser)
     parser.add_argument(
         "--list-routers", action="store_true", help="list router strategies and exit"
@@ -170,6 +177,7 @@ def main(argv=None) -> int:
             max_workers=max_workers,
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            alerts=args.alerts,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)

@@ -95,7 +95,9 @@ DOCUMENT_KEYS = (
 
 #: Additive schema-v1 keys: emitted by current sweeps but not required by
 #: the validator, so documents written before they existed stay valid.
-OPTIONAL_DOCUMENT_KEYS = ("cache_hits", "cache_misses")
+#: ``alerts`` records whether the sweep ran with ``--alerts``; alert
+#: entries carry an optional ``alerts`` block (see :mod:`repro.obs.schema`).
+OPTIONAL_DOCUMENT_KEYS = ("cache_hits", "cache_misses", "alerts")
 
 #: Keys every entry must carry (the stable contract).
 ENTRY_KEYS = (

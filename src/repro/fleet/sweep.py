@@ -119,6 +119,9 @@ class FleetCellResult:
     fleet_stats: Dict[str, float]
     latencies: Tuple[Tuple[Optional[float], Optional[float]], ...]
     wall_s: float
+    #: alert timeline block (``--alerts`` cells only; see
+    #: :mod:`repro.obs.schema`).
+    alerts: Optional[Dict[str, Any]] = None
 
 
 def fleet_fault_schedule(faults: str, scale: ExperimentScale, seed: int):
@@ -150,9 +153,15 @@ def run_fleet_cell(
     scale: ExperimentScale,
     seed: int = 42,
     faults: str = "none",
+    alerts: bool = False,
 ) -> FleetCellResult:
     """Run one scenario under one (policy, router, autoscaler, faults)
-    combination; the in-process cell primitive."""
+    combination; the in-process cell primitive.
+
+    ``alerts=True`` attaches an in-memory metrics monitor, replays the
+    :func:`repro.obs.default_rule_pack` over the recorded scrape stream,
+    and fills the result's ``alerts`` block.
+    """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     workload = spec.build_workload(scale, seed)
     policy = make_policy(policy_key)
@@ -164,9 +173,17 @@ def run_fleet_cell(
     config.chaos = schedule if schedule else None
     start = time.perf_counter()
     system = ClusterServingSystem(config, policy)
+    chunks: List[Tuple[str, float]] = []
+    if alerts:
+        system.attach_metrics(callback=lambda text, now: chunks.append((text, now)))
     initial_groups = len(system.groups)
     result = system.run(workload)
     wall_s = time.perf_counter() - start
+    alerts_block = None
+    if alerts:
+        from repro.obs import evaluate_monitor_chunks
+
+        alerts_block = evaluate_monitor_chunks(chunks)
     return FleetCellResult(
         scenario=spec.name,
         policy=policy_key,
@@ -184,6 +201,7 @@ def run_fleet_cell(
         fleet_stats=system.fleet.stats(),
         latencies=tuple((r.ttft, r.mean_tpot) for r in result.records),
         wall_s=wall_s,
+        alerts=alerts_block,
     )
 
 
@@ -233,6 +251,7 @@ def run_fleet_cell_payload(params: Mapping[str, Any], seed: int) -> Dict[str, An
         params["scale"],
         seed,
         params.get("faults", "none"),
+        alerts=params.get("alerts", False),
     )
     return dataclasses.asdict(cell)
 
@@ -245,32 +264,40 @@ def fleet_cell_task(
     scale: ExperimentScale,
     seed: int,
     faults: str = "none",
+    alerts: bool = False,
 ) -> SweepTask:
     """Describe one fleet grid cell as a cacheable sweep task."""
+    params: Dict[str, Any] = {
+        "scenario": spec,
+        "policy": policy,
+        "router": router,
+        "autoscaler": autoscaler,
+        "scale": scale,
+        "faults": faults,
+    }
+    key: Dict[str, Any] = {
+        "kind": "fleet-cell",
+        "schema_version": SCHEMA_VERSION,
+        "scenario": spec_fingerprint(spec),
+        "policy": policy,
+        "router": router,
+        "autoscaler": autoscaler,
+        # The materialised schedule, not just the preset name: a
+        # "churn" cell's cache entry must turn over when the hazard
+        # rate or the sampled event times change.
+        "faults": schedule_fingerprint(fleet_fault_schedule(faults, scale, seed)),
+        "admission": dataclasses.asdict(SWEEP_ADMISSION),
+        "scale": dataclasses.asdict(scale),
+    }
+    if alerts:
+        # Opt-in axis: only alert cells key on it, so cells without it
+        # keep their existing cache entries and stay bit-identical.
+        params["alerts"] = True
+        key["alerts"] = True
     return SweepTask(
         runner="repro.fleet.sweep:run_fleet_cell_payload",
-        params={
-            "scenario": spec,
-            "policy": policy,
-            "router": router,
-            "autoscaler": autoscaler,
-            "scale": scale,
-            "faults": faults,
-        },
-        key={
-            "kind": "fleet-cell",
-            "schema_version": SCHEMA_VERSION,
-            "scenario": spec_fingerprint(spec),
-            "policy": policy,
-            "router": router,
-            "autoscaler": autoscaler,
-            # The materialised schedule, not just the preset name: a
-            # "churn" cell's cache entry must turn over when the hazard
-            # rate or the sampled event times change.
-            "faults": schedule_fingerprint(fleet_fault_schedule(faults, scale, seed)),
-            "admission": dataclasses.asdict(SWEEP_ADMISSION),
-            "scale": dataclasses.asdict(scale),
-        },
+        params=params,
+        key=key,
         seed=seed,
         label=f"{spec.name}/{policy}/{router}/{autoscaler}/{faults}",
     )
@@ -335,6 +362,8 @@ def _scenario_entries(
                 "wall_s": cell["wall_s"],
             }
         )
+        if cell.get("alerts"):
+            entries[-1]["alerts"] = cell["alerts"]
     return entries
 
 
@@ -350,6 +379,7 @@ def run_fleet_sweep(
     max_workers: Optional[int] = None,
     use_cache: bool = False,
     cache_dir: Optional[Path] = None,
+    alerts: bool = False,
 ) -> Dict:
     """Sweep the scenario × policy × router × autoscaler × faults grid.
 
@@ -371,6 +401,10 @@ def run_fleet_sweep(
             Python API defaults to off).
         cache_dir: cache location override (default ``.repro_cache/`` at
             the repository root, or ``$REPRO_CACHE_DIR``).
+        alerts: replay the default alert-rule pack (:mod:`repro.obs`)
+            over every cell's metric stream and attach an ``alerts``
+            timeline block to each entry.  Opt-in axis: cells without it
+            keep their existing cache entries and stay bit-identical.
     """
     names = list(scenarios) if scenarios is not None else list(DEFAULT_SCENARIOS)
     policy_keys = list(policies) if policies is not None else list(DEFAULT_POLICIES)
@@ -406,7 +440,7 @@ def run_fleet_sweep(
         raise ValueError("max_workers must be >= 1")
     specs = [get_scenario(name) for name in names]
     tasks = [
-        fleet_cell_task(spec, policy, router, scaler, scale, seed, preset)
+        fleet_cell_task(spec, policy, router, scaler, scale, seed, preset, alerts=alerts)
         for spec in specs
         for policy in policy_keys
         for router in router_names
@@ -441,6 +475,9 @@ def run_fleet_sweep(
         "routers": router_names,
         "autoscalers": scaler_names,
         "faults": fault_names,
+        # Only present when the opt-in axis was enabled: plain documents
+        # keep their pre-alerts byte shape (no schema version bump).
+        **({"alerts": True} if alerts else {}),
         "entries": entries,
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,

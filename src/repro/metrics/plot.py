@@ -16,6 +16,13 @@ series and renders them three ways:
 The parser is intentionally forgiving: unknown comment lines are skipped
 (Prometheus parsers must ignore them), and sample lines missing the
 trailing timestamp fall back to the enclosing scrape's marker time.
+
+Streams recorded from chaos cells can be overlaid with the fault windows
+of the :class:`~repro.chaos.config.FaultSchedule` that shaped them:
+``--faults PRESET`` materialises a chaos preset against the stream's time
+range and shades each window in the SVG (``class="fault"`` rects), lists
+it in the JSON digest (``fault_windows``), and appends a summary line per
+window to the ASCII view.
 """
 
 from __future__ import annotations
@@ -28,6 +35,9 @@ from typing import Dict, List, Optional, Tuple
 
 #: ``(t_seconds, value)`` points of one labelled series, scrape order.
 Series = Dict[str, List[Tuple[float, float]]]
+
+#: One shaded overlay window: ``{kind, target, t_start_s, t_end_s}``.
+FaultWindow = Dict[str, object]
 
 _SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
@@ -98,8 +108,50 @@ def read_scrape_stream(path) -> Series:
     return parse_scrape_stream(Path(path).read_text())
 
 
-def digest(series: Series) -> Dict[str, object]:
-    """Machine-readable summary of a parsed stream."""
+def fault_windows(schedule, *, t_end_s: float) -> List[FaultWindow]:
+    """Convert a :class:`~repro.chaos.config.FaultSchedule` into overlay windows.
+
+    Each window is ``{kind, target, t_start_s, t_end_s}``, sorted by
+    start time (the schedule already sorts its events):
+
+    * ``instance_kill`` — a zero-width window at the strike time (the
+      renderer draws it as a thin marker); the shard recovers on its own.
+    * ``cluster_outage`` — permanent, so the window runs to ``t_end_s``
+      (the end of the recorded stream).
+    * ``wan_degrade`` — ``duration_s`` wide; ``duration_s == 0`` means
+      until the end of the run, i.e. ``t_end_s``.
+    """
+    windows: List[FaultWindow] = []
+    for event in schedule.events:
+        if event.kind == "instance_kill":
+            target = f"cluster{event.cluster}/inst{event.instance}"
+            end = event.at_s
+        elif event.kind == "cluster_outage":
+            target = f"cluster{event.cluster}"
+            end = t_end_s
+        else:  # wan_degrade hits every link
+            target = "wan"
+            end = event.at_s + event.duration_s if event.duration_s > 0 else t_end_s
+        windows.append(
+            {
+                "kind": event.kind,
+                "target": target,
+                "t_start_s": event.at_s,
+                "t_end_s": max(end, event.at_s),
+            }
+        )
+    return windows
+
+
+def digest(
+    series: Series, fault_windows: Optional[List[FaultWindow]] = None
+) -> Dict[str, object]:
+    """Machine-readable summary of a parsed stream.
+
+    ``fault_windows`` (when given) is embedded verbatim under the
+    ``fault_windows`` key; streams rendered without an overlay keep the
+    pre-overlay digest shape, so recorded digests stay bit-identical.
+    """
     per_series = {}
     t_min: Optional[float] = None
     t_max: Optional[float] = None
@@ -116,12 +168,15 @@ def digest(series: Series) -> Dict[str, object]:
             "min": min(values),
             "max": max(values),
         }
-    return {
+    summary: Dict[str, object] = {
         "series": per_series,
         "num_series": len(per_series),
         "t_start_s": t_min if t_min is not None else 0.0,
         "t_end_s": t_max if t_max is not None else 0.0,
     }
+    if fault_windows is not None:
+        summary["fault_windows"] = fault_windows
+    return summary
 
 
 def sparkline(values: List[float], width: int = 40) -> str:
@@ -141,7 +196,11 @@ def sparkline(values: List[float], width: int = 40) -> str:
     )
 
 
-def render_ascii(series: Series, width: int = 40) -> str:
+def render_ascii(
+    series: Series,
+    width: int = 40,
+    fault_windows: Optional[List[FaultWindow]] = None,
+) -> str:
     """One sparkline row per series, aligned, sorted by series name."""
     if not series:
         return "(empty scrape stream)\n"
@@ -154,11 +213,28 @@ def render_ascii(series: Series, width: int = 40) -> str:
             f"first={values[0]:g} last={values[-1]:g} "
             f"min={min(values):g} max={max(values):g}"
         )
+    for window in fault_windows or ():
+        lines.append(
+            f"fault {window['kind']} on {window['target']}: "
+            f"t={window['t_start_s']:g}s..{window['t_end_s']:g}s"
+        )
     return "\n".join(lines) + "\n"
 
 
-def render_svg(series: Series, width: int = 900, row_height: int = 60) -> str:
-    """A standalone SVG: one normalised polyline strip per series."""
+def render_svg(
+    series: Series,
+    width: int = 900,
+    row_height: int = 60,
+    fault_windows: Optional[List[FaultWindow]] = None,
+) -> str:
+    """A standalone SVG: one normalised polyline strip per series.
+
+    ``fault_windows`` shade as full-height ``class="fault"`` rects behind
+    the polylines, positioned on the union time range of every series —
+    the same axis the per-row strips normalise against when the stream
+    comes from a single recording (zero-width windows render as thin
+    markers).
+    """
     names = sorted(series)
     margin, label_h = 10, 14
     strip = row_height - label_h - margin
@@ -168,6 +244,24 @@ def render_svg(series: Series, width: int = 900, row_height: int = 60) -> str:
         f'height="{height}" font-family="monospace" font-size="11">',
         f'<rect width="{width}" height="{height}" fill="white"/>',
     ]
+    if fault_windows and series:
+        all_times = [t for points in series.values() for t, _ in points]
+        t_lo, t_hi = min(all_times), max(all_times)
+        t_span = (t_hi - t_lo) or 1.0
+        for window in fault_windows:
+            x0 = margin + (float(window["t_start_s"]) - t_lo) / t_span * (
+                width - 2 * margin
+            )
+            x1 = margin + (float(window["t_end_s"]) - t_lo) / t_span * (
+                width - 2 * margin
+            )
+            parts.append(
+                f'<rect class="fault" x="{x0:.1f}" y="0" '
+                f'width="{max(x1 - x0, 2.0):.1f}" height="{height}" '
+                f'fill="#d62728" fill-opacity="0.12">'
+                f"<title>{_svg_escape(str(window['kind']))} "
+                f"{_svg_escape(str(window['target']))}</title></rect>"
+            )
     for row, name in enumerate(names):
         points = series[name]
         y0 = row * row_height + margin
@@ -225,17 +319,66 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--width", type=int, default=40, help="sparkline width / SVG scale hint"
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PRESET",
+        help="overlay the fault windows of this chaos preset (see "
+        "python -m repro.chaos --list-faults), materialised against the "
+        "stream's time range",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=42,
+        metavar="SEED",
+        help="seed the preset was materialised with (churn only; default: 42)",
+    )
+    parser.add_argument(
+        "--fault-clusters",
+        type=int,
+        default=2,
+        metavar="N",
+        help="cluster count of the recorded topology (churn only; default: 2)",
+    )
+    parser.add_argument(
+        "--fault-instances",
+        type=int,
+        default=2,
+        metavar="N",
+        help="instances per cluster of the recorded topology (churn only; "
+        "default: 2)",
+    )
     args = parser.parse_args(argv)
 
     series = read_scrape_stream(args.stream)
     if args.select:
         series = {k: v for k, v in series.items() if args.select in k}
+    windows = None
+    if args.faults is not None:
+        from repro.chaos.config import fault_schedule_preset
+
+        t_end_s = float(digest(series)["t_end_s"])
+        try:
+            schedule = fault_schedule_preset(
+                args.faults,
+                duration_s=max(t_end_s, 1e-9),
+                num_clusters=args.fault_clusters,
+                instances_per_cluster=args.fault_instances,
+                seed=args.fault_seed,
+            )
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        windows = fault_windows(schedule, t_end_s=t_end_s)
     if args.format == "ascii":
-        text = render_ascii(series, width=args.width)
+        text = render_ascii(series, width=args.width, fault_windows=windows)
     elif args.format == "svg":
-        text = render_svg(series, width=max(300, args.width * 20))
+        text = render_svg(
+            series, width=max(300, args.width * 20), fault_windows=windows
+        )
     else:
-        text = json.dumps(digest(series), indent=2, sort_keys=True) + "\n"
+        text = json.dumps(digest(series, windows), indent=2, sort_keys=True) + "\n"
     if args.output:
         Path(args.output).write_text(text)
         print(f"wrote {args.format} summary of {len(series)} series to {args.output}")

@@ -56,6 +56,12 @@ def fleet_metrics_source(system, cluster: str = "0"):
         active.set(float(sum(len(g.instances) for g in groups)), cluster=cluster)
         submitted.set_total(float(system._submitted), cluster=cluster)
         finished.set_total(float(system.metrics.finished_count()), cluster=cluster)
+        # Running TTFT tail over everything finished so far: the SLO
+        # signal the ttft_p99_breach alert rule watches (0.0 until the
+        # first request finishes — percentile() on an empty set).
+        registry.gauge(
+            "repro_ttft_p99_seconds", "P99 time-to-first-token of finished requests"
+        ).set(float(system.metrics.ttft_percentile(99)), cluster=cluster)
 
     return sample
 

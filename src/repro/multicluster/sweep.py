@@ -162,6 +162,7 @@ def run_tier(
     seed: int,
     trace: Union[bool, str] = False,
     on_tracer=None,
+    on_system=None,
 ) -> TierRun:
     """Build the tier's workload, run ``config`` through it, and time it.
 
@@ -169,11 +170,17 @@ def run_tier(
     sized by :func:`tier_workload_scale`.  ``trace=True`` attaches one
     shared :class:`repro.trace.Tracer` across the tier and its shards
     (``trace="disabled"`` attaches it with recording off); ``on_tracer``
-    receives the tracer right after it attaches.
+    receives the tracer right after it attaches.  ``on_system`` receives
+    the constructed :class:`MultiClusterSystem` before the run starts —
+    the hook the ``--alerts`` axis uses to attach an in-memory metrics
+    monitor; it requires the serial path (callers wanting it must not
+    request parallel execution).
     """
     workload_scale = tier_workload_scale(scale, config.multicluster.num_clusters)
     workload = spec.build_workload(workload_scale, seed)
     parallel_fallback: Optional[str] = None
+    if on_system is not None and config.multicluster.execution == "parallel":
+        raise ValueError("on_system requires serial execution")
     if config.multicluster.execution == "parallel":
         # Local import: repro.parallel imports this module's siblings.
         from repro.parallel import parallel_ineligibility, run_parallel
@@ -198,6 +205,8 @@ def run_tier(
         tracer = system.attach_tracer(enabled=(trace != "disabled"))
         if on_tracer is not None:
             on_tracer(tracer)
+    if on_system is not None:
+        on_system(system)
     initial_groups = system.initial_group_count()
     result = system.run(workload)
     wall_s = time.perf_counter() - start

@@ -1,0 +1,83 @@
+"""repro.obs: analysis layer over the stack's emitted telemetry.
+
+Three consumers of existing signals, none of which touches the
+simulation itself:
+
+* :mod:`repro.obs.rules` / :mod:`repro.obs.engine` — declarative alert
+  rules (threshold, multi-window SLO burn rate, rate-of-change)
+  evaluated over recorded ``--metrics-out`` scrape streams, producing a
+  deterministic firing/resolved timeline per cell; the ``--alerts``
+  sweep axis attaches the resulting block to result entries.
+* :mod:`repro.obs.profile` — per-task resource accounting (wall/CPU
+  time, RSS high-watermark, simulated events and events/s) attached to
+  every cached payload, with a cache-wide cost roll-up.
+* :mod:`repro.obs.diff` — the differential doctor: cell-by-cell
+  comparison of two result documents with stage-level latency
+  attribution via :mod:`repro.trace.attribution`.
+
+CLI: ``python -m repro.obs {alerts,profile,diff}``.
+"""
+
+from repro.obs.engine import (
+    ALERTS_SCHEMA_VERSION,
+    AlertEngine,
+    alerts_block,
+    evaluate_monitor_chunks,
+    format_timeline,
+    scrape_stream_text,
+)
+from repro.obs.diff import diff_documents, format_diff_report, load_document
+from repro.obs.profile import (
+    TaskProfiler,
+    collect_profiles,
+    flag_anomalies,
+    format_profile_report,
+    rank_cells,
+)
+from repro.obs.rules import (
+    AlertRule,
+    BurnRateRule,
+    RateOfChangeRule,
+    ThresholdRule,
+    default_rule_pack,
+    rule_dict,
+)
+from repro.obs.schema import (
+    ALERT_EVENT_KEYS,
+    ALERT_STATES,
+    ALERTS_BLOCK_KEYS,
+    PROFILE_BLOCK_KEYS,
+    strip_profiles,
+    validate_alerts_block,
+    validate_profile_block,
+)
+
+__all__ = [
+    "ALERT_EVENT_KEYS",
+    "ALERT_STATES",
+    "ALERTS_BLOCK_KEYS",
+    "ALERTS_SCHEMA_VERSION",
+    "AlertEngine",
+    "AlertRule",
+    "BurnRateRule",
+    "PROFILE_BLOCK_KEYS",
+    "RateOfChangeRule",
+    "TaskProfiler",
+    "ThresholdRule",
+    "alerts_block",
+    "collect_profiles",
+    "default_rule_pack",
+    "diff_documents",
+    "evaluate_monitor_chunks",
+    "flag_anomalies",
+    "format_diff_report",
+    "format_profile_report",
+    "format_timeline",
+    "load_document",
+    "rank_cells",
+    "rule_dict",
+    "scrape_stream_text",
+    "strip_profiles",
+    "validate_alerts_block",
+    "validate_profile_block",
+]

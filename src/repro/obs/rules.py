@@ -1,0 +1,196 @@
+"""Declarative alert rules over recorded metric scrape streams.
+
+Three rule shapes, mirroring what a production monitoring stack runs over
+Prometheus series:
+
+* :class:`ThresholdRule` — a comparison against one metric, optionally
+  required to hold for a duration before firing (``for_s`` absolute
+  seconds, or ``for_fraction`` of the observed stream span — the latter
+  makes one rule meaningful across tiny test streams and full sweeps).
+  Evaluated per labelled series, so a per-cluster gauge alerts per
+  cluster.
+* :class:`BurnRateRule` — multi-window SLO burn rate à la the SRE
+  workbook: the bad-event/total-event ratio over a *short* and a *long*
+  trailing window, each expressed as a multiple of the error budget
+  (``1 - objective``); the rule fires only while **both** windows burn
+  faster than ``burn_threshold`` — fast enough to matter, long enough to
+  not be noise.  Counter series are summed across label sets first
+  (fleet-wide semantics).
+* :class:`RateOfChangeRule` — the per-second increase of a counter over
+  a trailing window, summed across label sets; fires while the rate
+  exceeds ``threshold_per_s``.
+
+Rules are frozen dataclasses: JSON-able via :func:`rule_dict`, hashable,
+and free of evaluation state — :mod:`repro.obs.engine` walks the series
+and emits the firing/resolved timeline.
+
+The :func:`default_rule_pack` encodes the repository's operator
+questions: is TTFT out of SLO, is admission shedding abnormally, did a
+fault's recovery transient outlast the budget, and is the WAN moving
+migration traffic.  Thresholds are tuned against the committed
+quick-scale sweep documents (see ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple, Union
+
+#: Comparison operators a :class:`ThresholdRule` may use.
+THRESHOLD_OPS: Tuple[str, ...] = (">", ">=", "<", "<=")
+
+
+@dataclasses.dataclass(frozen=True)
+class ThresholdRule:
+    """Fire while ``metric <op> threshold`` holds long enough.
+
+    ``for_s`` and ``for_fraction`` combine as a maximum: the breach must
+    persist for ``max(for_s, for_fraction * stream_span)`` seconds of
+    simulated time before the rule fires.  Both zero means the first
+    breaching sample fires.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = ">"
+    for_s: float = 0.0
+    for_fraction: float = 0.0
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if self.op not in THRESHOLD_OPS:
+            raise ValueError(
+                f"unknown op {self.op!r}; known: {', '.join(THRESHOLD_OPS)}"
+            )
+        if self.for_s < 0 or not (0.0 <= self.for_fraction <= 1.0):
+            raise ValueError(
+                f"rule {self.name!r}: for_s must be >= 0 and for_fraction in [0, 1]"
+            )
+
+    def breaches(self, value: float) -> bool:
+        if self.op == ">":
+            return value > self.threshold
+        if self.op == ">=":
+            return value >= self.threshold
+        if self.op == "<":
+            return value < self.threshold
+        return value <= self.threshold
+
+
+@dataclasses.dataclass(frozen=True)
+class BurnRateRule:
+    """Fire while both trailing windows burn the error budget too fast.
+
+    ``numerator`` and ``denominator`` name cumulative counters (bad
+    events and total events); the burn rate over a window is
+    ``(Δnumerator / Δdenominator) / (1 - objective)``.  Windows longer
+    than the stream clamp to the stream span, so the rule degrades to a
+    single-window check on short streams instead of never firing.
+    """
+
+    name: str
+    numerator: str
+    denominator: str
+    objective: float = 0.99
+    burn_threshold: float = 10.0
+    short_window_s: float = 5.0
+    long_window_s: float = 30.0
+    severity: str = "page"
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.objective < 1.0):
+            raise ValueError(f"rule {self.name!r}: objective must be in (0, 1)")
+        if self.burn_threshold <= 0:
+            raise ValueError(f"rule {self.name!r}: burn_threshold must be positive")
+        if not (0 < self.short_window_s <= self.long_window_s):
+            raise ValueError(
+                f"rule {self.name!r}: need 0 < short_window_s <= long_window_s"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class RateOfChangeRule:
+    """Fire while a counter's per-second increase exceeds the threshold."""
+
+    name: str
+    metric: str
+    threshold_per_s: float
+    window_s: float = 5.0
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError(f"rule {self.name!r}: window_s must be positive")
+        if self.threshold_per_s <= 0:
+            raise ValueError(
+                f"rule {self.name!r}: threshold_per_s must be positive"
+            )
+
+
+#: Any rule the engine can evaluate.
+AlertRule = Union[ThresholdRule, BurnRateRule, RateOfChangeRule]
+
+
+def rule_dict(rule: AlertRule) -> dict:
+    """A rule as a JSON-able dict, tagged with its evaluation type."""
+    payload = dataclasses.asdict(rule)
+    payload["type"] = type(rule).__name__
+    return payload
+
+
+def default_rule_pack() -> List[AlertRule]:
+    """The stock rules the ``--alerts`` sweep axis evaluates per cell.
+
+    * ``ttft_p99_breach`` — the running TTFT P99 gauge
+      (:func:`repro.metrics.sources.fleet_metrics_source`) exceeds 10 s,
+      held for a tenth of the run: the fleet is serving, but far out of
+      interactive SLO.
+    * ``shed_rate_spike`` — multi-window burn over shed vs. submitted
+      requests against a 99% admission objective: more than 10x budget
+      burn (>10% of arrivals shed) on both the 5 s and 30 s windows.
+    * ``recovery_transient`` — fault-displaced requests still pending for
+      over 70% of the run (``repro_displaced_pending``): the fault was
+      absorbed so slowly the transient dominated the horizon.  Sticky
+      session policies breach this on the quick chaos outage grid;
+      migration keeps the transient short enough not to.
+    * ``wan_saturation`` — the WAN moved more than 64 MiB/s over a 5 s
+      window (``repro_cross_cluster_bytes_total``): a migration burst or
+      rerouted dispatch storm is in flight.  Fires *and resolves* in the
+      quick outage/migrate cell, which is what the CI smoke asserts.
+    """
+    return [
+        ThresholdRule(
+            name="ttft_p99_breach",
+            metric="repro_ttft_p99_seconds",
+            threshold=10.0,
+            op=">",
+            for_fraction=0.1,
+            severity="page",
+        ),
+        BurnRateRule(
+            name="shed_rate_spike",
+            numerator="repro_requests_shed_total",
+            denominator="repro_requests_submitted_total",
+            objective=0.99,
+            burn_threshold=10.0,
+            short_window_s=5.0,
+            long_window_s=30.0,
+            severity="page",
+        ),
+        ThresholdRule(
+            name="recovery_transient",
+            metric="repro_displaced_pending",
+            threshold=0.0,
+            op=">",
+            for_fraction=0.7,
+            severity="warning",
+        ),
+        RateOfChangeRule(
+            name="wan_saturation",
+            metric="repro_cross_cluster_bytes_total",
+            threshold_per_s=64.0 * 1024 * 1024,
+            window_s=5.0,
+            severity="warning",
+        ),
+    ]

@@ -126,6 +126,13 @@ def main(argv=None) -> int:
         help="additionally replay the last grid cell inline with tracing on "
         "and write its Chrome trace-event JSON (Perfetto-loadable) to FILE",
     )
+    parser.add_argument(
+        "--alerts",
+        action="store_true",
+        help="replay the default alert-rule pack (repro.obs) over every cell's "
+        "metric stream and add an alerts block (firing/resolved timeline) to "
+        "each entry",
+    )
     add_cache_arguments(parser)
     parser.add_argument(
         "--list-retries",
@@ -184,6 +191,7 @@ def main(argv=None) -> int:
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
             trace=args.trace,
+            alerts=args.alerts,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)

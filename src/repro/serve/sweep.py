@@ -191,6 +191,9 @@ class ServeCellResult:
     #: per-stage latency attribution (``--trace`` cells only; ``None``
     #: when the cell ran untraced or with a disabled tracer).
     stage_breakdown: Optional[Dict[str, Any]] = None
+    #: alert timeline block (``--alerts`` cells only; see
+    #: :mod:`repro.obs.schema`).
+    alerts: Optional[Dict[str, Any]] = None
 
 
 def normalize_clients(token: Union[str, int]) -> str:
@@ -220,6 +223,7 @@ def run_serve_cell(
     seed: int = 42,
     trace: Union[bool, str] = False,
     on_tracer=None,
+    alerts: bool = False,
 ) -> ServeCellResult:
     """Run one scenario online under one frontend configuration; the
     in-process cell primitive.
@@ -230,6 +234,11 @@ def run_serve_cell(
     ``trace_overhead`` benchmark measures.  ``on_tracer`` (if given) is
     called with the tracer right after it attaches, so callers can keep a
     handle for span export.
+
+    ``alerts=True`` attaches an in-memory metrics monitor (fleet source,
+    plus the client source on closed-loop cells), replays the
+    :func:`repro.obs.default_rule_pack` over the recorded scrape stream,
+    and fills the result's ``alerts`` block.
     """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     clients = normalize_clients(clients)
@@ -252,6 +261,12 @@ def run_serve_cell(
         tracer = system.attach_tracer(enabled=(trace != "disabled"))
         if on_tracer is not None:
             on_tracer(tracer)
+    chunks: List[Tuple[str, float]] = []
+    monitor = None
+    if alerts:
+        monitor = system.attach_metrics(
+            callback=lambda text, now: chunks.append((text, now))
+        )
     if clients == OPEN_LOOP:
         gateway = OnlineGateway(system, workload_arrivals(workload))
         result = system.run_online([gateway], until=horizon, workload_name=workload.name)
@@ -281,6 +296,10 @@ def run_serve_cell(
             client_population_config(clients, retry, backpressure),
             seed=seed,
         )
+        if monitor is not None:
+            from repro.metrics import client_metrics_source
+
+            monitor.add_source(client_metrics_source(population))
         result = system.run_online(
             [population], until=horizon, workload_name=workload.name
         )
@@ -306,6 +325,11 @@ def run_serve_cell(
         from repro.trace import LatencyAttribution
 
         stage_breakdown = LatencyAttribution.from_tracer(tracer).stage_breakdown()
+    alerts_block = None
+    if alerts:
+        from repro.obs import evaluate_monitor_chunks
+
+        alerts_block = evaluate_monitor_chunks(chunks)
     return ServeCellResult(
         scenario=spec.name,
         policy=policy_key,
@@ -339,6 +363,7 @@ def run_serve_cell(
         latencies=latencies,
         wall_s=wall_s,
         stage_breakdown=stage_breakdown,
+        alerts=alerts_block,
     )
 
 
@@ -409,6 +434,7 @@ def run_serve_cell_payload(params: Mapping[str, Any], seed: int) -> Dict[str, An
         params["scale"],
         seed,
         trace=params.get("trace", False),
+        alerts=params.get("alerts", False),
     )
     return dataclasses.asdict(cell)
 
@@ -422,6 +448,7 @@ def serve_cell_task(
     scale: ExperimentScale,
     seed: int,
     trace: bool = False,
+    alerts: bool = False,
 ) -> SweepTask:
     """Describe one serve grid cell as a cacheable sweep task."""
     fleet = make_fleet_config(
@@ -458,6 +485,10 @@ def serve_cell_task(
         # valid (and bit-identical) whether or not tracing exists.
         params["trace"] = True
         key["trace"] = True
+    if alerts:
+        # Same opt-in pattern: only alert cells key on the axis.
+        params["alerts"] = True
+        key["alerts"] = True
     return SweepTask(
         runner="repro.serve.sweep:run_serve_cell_payload",
         params=params,
@@ -567,6 +598,8 @@ def _scenario_entries(
         )
         if cell.get("stage_breakdown"):
             entries[-1]["stage_breakdown"] = cell["stage_breakdown"]
+        if cell.get("alerts"):
+            entries[-1]["alerts"] = cell["alerts"]
     return entries
 
 
@@ -583,6 +616,7 @@ def run_serve_sweep(
     use_cache: bool = False,
     cache_dir: Optional[Path] = None,
     trace: bool = False,
+    alerts: bool = False,
 ) -> Dict:
     """Sweep the scenario × policy × clients × retry × backpressure grid.
 
@@ -606,6 +640,11 @@ def run_serve_sweep(
         trace: attach a per-request span tracer to every cell and add a
             ``stage_breakdown`` block (per-stage latency attribution) to
             each entry.  Traced cells cache under a distinct key.
+        alerts: attach an in-memory metrics monitor to every cell,
+            replay the default alert-rule pack over its scrape stream,
+            and add an ``alerts`` block (firing/resolved timeline) to
+            each entry.  Alert cells cache under a distinct key; cells
+            without the axis stay bit-identical.
     """
     names = list(scenarios) if scenarios is not None else list(DEFAULT_SCENARIOS)
     policy_keys = list(policies) if policies is not None else list(DEFAULT_POLICIES)
@@ -640,7 +679,7 @@ def run_serve_sweep(
     tasks = [
         serve_cell_task(
             specs[scenario], policy, token, retry, backpressure, scale, seed,
-            trace=trace,
+            trace=trace, alerts=alerts,
         )
         for scenario, policy, token, retry, backpressure in grid
     ]
@@ -675,6 +714,9 @@ def run_serve_sweep(
         "router": SERVE_ROUTER,
         "autoscaler": SERVE_AUTOSCALER,
         "trace": bool(trace),
+        # Only present when the opt-in axis was enabled: plain documents
+        # keep their pre-alerts byte shape (no schema version bump).
+        **({"alerts": True} if alerts else {}),
         "entries": entries,
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,

@@ -166,11 +166,26 @@ atexit.register(shutdown_shared_pool)
 # Execution
 # ----------------------------------------------------------------------
 def execute_task(task: SweepTask) -> Dict[str, Any]:
-    """Resolve and run one task's runner (this is what workers execute)."""
+    """Resolve and run one task's runner (this is what workers execute).
+
+    The run is wrapped in a :class:`~repro.obs.profile.TaskProfiler` and
+    the measurement attached as a ``profile`` block on the payload —
+    part of the cached *value*, never the cache key (the runner-module
+    bytecode fingerprint does not cover this module), so existing cache
+    entries stay valid; entries cached before the profiler existed just
+    lack the block.  A runner that already returns a ``profile`` key, or
+    a non-dict payload, is left untouched.
+    """
+    from repro.obs.profile import TaskProfiler
+
     module_name, _, func_name = task.runner.partition(":")
     module = importlib.import_module(module_name)
     runner = getattr(module, func_name)
-    return runner(task.params, task.seed)
+    with TaskProfiler() as profiler:
+        payload = runner(task.params, task.seed)
+    if isinstance(payload, dict) and "profile" not in payload:
+        payload["profile"] = profiler.block()
+    return payload
 
 
 def _normalize(payload: Dict[str, Any]) -> Dict[str, Any]:

@@ -148,3 +148,52 @@ class LatencyAttribution:
             "e2e_p99": _percentile(e2e_values, 99.0),
             "stages": self.aggregate(),
         }
+
+
+def diff_stage_breakdowns(
+    base: Dict, current: Dict, *, rel_threshold: float = 0.05, abs_floor_s: float = 1e-4
+) -> List[Dict[str, float]]:
+    """Attribute a latency delta between two ``stage_breakdown`` blocks.
+
+    Compares ``mean_s`` and ``p99_s`` per stage in :data:`STAGE_ORDER`
+    (then any extra stages, name-sorted) and returns one record per stage
+    metric whose relative change exceeds ``rel_threshold`` and whose
+    absolute change exceeds ``abs_floor_s`` — the attribution the diff
+    doctor (:mod:`repro.obs.diff`) prints as, e.g., "decode mean_s +31%".
+    Stages present on only one side are reported with the missing side's
+    value as 0.  Records are sorted by absolute relative change,
+    largest first.
+    """
+    base_stages = base.get("stages") or {}
+    current_stages = current.get("stages") or {}
+    ordered = [name for name in STAGE_ORDER if name in base_stages or name in current_stages]
+    ordered += sorted(
+        name
+        for name in set(base_stages) | set(current_stages)
+        if name not in STAGE_ORDER
+    )
+    records: List[Dict[str, float]] = []
+    for name in ordered:
+        before = base_stages.get(name) or {}
+        after = current_stages.get(name) or {}
+        for metric in ("mean_s", "p99_s"):
+            old = float(before.get(metric) or 0.0)
+            new = float(after.get(metric) or 0.0)
+            delta = new - old
+            if abs(delta) <= abs_floor_s:
+                continue
+            rel = delta / old if old > 0 else float("inf")
+            if abs(rel) <= rel_threshold:
+                continue
+            records.append(
+                {
+                    "stage": name,
+                    "metric": metric,
+                    "base": old,
+                    "current": new,
+                    "delta_s": delta,
+                    "rel": rel,
+                }
+            )
+    records.sort(key=lambda r: (-abs(r["rel"]), r["stage"], r["metric"]))
+    return records

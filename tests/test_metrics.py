@@ -323,3 +323,74 @@ class TestSystemSources:
         assert final[("repro_displaced_pending", ())][0] == 0.0  # all recovered
         assert final[("repro_cross_cluster_bytes_total", ())][0] > 0.0
         assert final[alive0][0] == 0.0  # the preset outage targets cluster 0
+
+
+class TestScrapeReplayEdgeCases:
+    """Replay-path edge cases: the offline parser and the alert engine
+    must degrade gracefully on streams a healthy run never produces —
+    empty files, series with one sample, and samples whose explicit
+    timestamps arrive out of order (a replayed stream stitched from two
+    recordings, or a counter reset mid-file)."""
+
+    def test_empty_scrape_stream(self):
+        from repro.metrics.plot import digest, parse_scrape_stream, render_ascii, render_svg
+        from repro.obs import AlertEngine, evaluate_monitor_chunks, validate_alerts_block
+
+        series = parse_scrape_stream("")
+        assert series == {}
+        summary = digest(series)
+        assert summary["num_series"] == 0
+        assert summary["t_start_s"] == 0.0 and summary["t_end_s"] == 0.0
+        assert render_ascii(series) == "(empty scrape stream)\n"
+        assert render_svg(series).startswith("<svg")
+        assert AlertEngine().evaluate(series) == []
+        assert validate_alerts_block(evaluate_monitor_chunks([])) == []
+        # Marker-only streams (a monitor that never sampled) are empty too.
+        assert parse_scrape_stream("# scrape 1 t=0.000\n") == {}
+
+    def test_single_sample_series(self):
+        from repro.metrics.plot import digest, parse_scrape_stream, render_svg, sparkline
+        from repro.obs import AlertEngine, RateOfChangeRule, ThresholdRule
+
+        series = parse_scrape_stream("# scrape 1 t=2.000\ngauge 7\n")
+        assert series == {"gauge": [(2.0, 7.0)]}
+        summary = digest(series)
+        assert summary["series"]["gauge"] == {
+            "points": 1, "first": 7.0, "last": 7.0, "min": 7.0, "max": 7.0,
+        }
+        assert summary["t_start_s"] == summary["t_end_s"] == 2.0
+        assert len(sparkline([7.0])) == 1
+        assert "polyline" in render_svg(series)  # degenerate point still renders
+        # Span is zero, so the hold window collapses: an instant rule
+        # fires on the lone sample, a rate rule has no elapsed time.
+        instant = ThresholdRule(name="hot", metric="gauge", threshold=5.0)
+        events = AlertEngine([instant]).evaluate(series)
+        assert [(e["state"], e["t_s"]) for e in events] == [("firing", 2.0)]
+        rate = RateOfChangeRule(name="r", metric="gauge", threshold_per_s=1.0)
+        assert AlertEngine([rate]).evaluate(series) == []
+
+    def test_out_of_order_timestamps(self):
+        from repro.metrics.plot import parse_scrape_stream
+        from repro.obs import AlertEngine, ThresholdRule
+        from repro.obs.engine import _prepare, _value_at
+
+        # Explicit sample timestamps (ms) win over marker time and arrive
+        # out of order; the parser preserves file order ...
+        stream = (
+            "# scrape 1 t=0.000\n"
+            "gauge 9 3000\n"
+            "# scrape 2 t=1.000\n"
+            "gauge 1 1000\n"
+        )
+        series = parse_scrape_stream(stream)
+        assert series["gauge"] == [(3.0, 9.0), (1.0, 1.0)]
+        # ... and the engine sorts by time before evaluating, so the
+        # timeline is the chronological one: below threshold at t=1,
+        # breaching at t=3.
+        ordered = _prepare(series["gauge"])
+        assert ordered == [(1.0, 1.0), (3.0, 9.0)]
+        assert _value_at(ordered, 2.0) == 1.0
+        assert _value_at(ordered, 0.5) == 1.0  # before-start: first value
+        rule = ThresholdRule(name="hot", metric="gauge", threshold=5.0)
+        events = AlertEngine([rule]).evaluate(series)
+        assert [(e["state"], e["t_s"]) for e in events] == [("firing", 3.0)]

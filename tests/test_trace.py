@@ -390,3 +390,77 @@ class TestMetricsSurface:
         stdout = capsys.readouterr().out
         assert "repro_queue_depth" in stdout
         assert "repro_finished_total" not in stdout
+
+
+class TestPlotFaultOverlay:
+    """``--faults`` overlay: chaos fault windows shaded into the plot."""
+
+    STREAM = (
+        "# scrape 1 t=0.000\n"
+        "repro_queue_depth 1\n"
+        "# scrape 2 t=100.000\n"
+        "repro_queue_depth 4\n"
+    )
+
+    def test_fault_windows_from_schedule(self):
+        from repro.chaos.config import FaultEvent, FaultSchedule
+        from repro.metrics.plot import fault_windows
+
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(kind="instance_kill", at_s=10.0, cluster=1, instance=0),
+                FaultEvent(kind="cluster_outage", at_s=25.0, cluster=0),
+                FaultEvent(kind="wan_degrade", at_s=30.0, duration_s=20.0),
+                FaultEvent(kind="wan_degrade", at_s=60.0),  # until stream end
+            ),
+            name="mixed",
+        )
+        windows = fault_windows(schedule, t_end_s=100.0)
+        assert windows == [
+            {"kind": "instance_kill", "target": "cluster1/inst0",
+             "t_start_s": 10.0, "t_end_s": 10.0},
+            {"kind": "cluster_outage", "target": "cluster0",
+             "t_start_s": 25.0, "t_end_s": 100.0},
+            {"kind": "wan_degrade", "target": "wan",
+             "t_start_s": 30.0, "t_end_s": 50.0},
+            {"kind": "wan_degrade", "target": "wan",
+             "t_start_s": 60.0, "t_end_s": 100.0},
+        ]
+
+    def test_digest_and_svg_carry_the_overlay(self, tmp_path):
+        from repro.metrics.plot import (
+            digest,
+            main as plot_cli,
+            parse_scrape_stream,
+            render_svg,
+        )
+
+        series = parse_scrape_stream(self.STREAM)
+        windows = [{"kind": "cluster_outage", "target": "cluster0",
+                    "t_start_s": 25.0, "t_end_s": 100.0}]
+        summary = digest(series, windows)
+        assert summary["fault_windows"] == windows
+        # Without an overlay the digest keeps its pre-overlay shape, so
+        # recorded digests stay bit-identical.
+        assert "fault_windows" not in digest(series)
+        svg = render_svg(series, fault_windows=windows)
+        assert svg.count('class="fault"') == 1
+        assert "cluster_outage" in svg
+        assert 'class="fault"' not in render_svg(series)
+
+        # End-to-end through the CLI: materialise the preset against the
+        # stream's time range and embed it in the JSON digest.
+        path = tmp_path / "m.prom"
+        path.write_text(self.STREAM)
+        out = tmp_path / "digest.json"
+        assert plot_cli(
+            [str(path), "--format", "json", "--faults", "cluster-outage",
+             "--output", str(out)]
+        ) == 0
+        loaded = json.loads(out.read_text())
+        # The preset strikes at 25% of the stream span and never ends.
+        assert loaded["fault_windows"] == [
+            {"kind": "cluster_outage", "target": "cluster0",
+             "t_start_s": 25.0, "t_end_s": 100.0}
+        ]
+        assert plot_cli([str(path), "--faults", "not-a-preset"]) == 2
